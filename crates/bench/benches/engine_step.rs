@@ -1,0 +1,50 @@
+//! Criterion bench of the continuous-batching engine: per-iteration cost at
+//! several batch occupancies (the simulator cost behind Figs. 1/7 and
+//! Tables I/III).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use llmpilot_sim::engine::Engine;
+use llmpilot_sim::gpu::{a100_80, GpuProfile};
+use llmpilot_sim::llm::llama2_13b;
+use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
+use llmpilot_sim::request::RequestSpec;
+
+fn engine_with_batch(batch: u32) -> Engine {
+    let perf = PerfModel::new(
+        llama2_13b(),
+        GpuProfile::new(a100_80(), 1),
+        PerfModelConfig::default(),
+    );
+    let mut engine = Engine::new(perf, 1_000_000);
+    for _ in 0..batch {
+        engine.submit(RequestSpec::new(300, 1_000)).expect("fits");
+    }
+    // Admit everything.
+    engine.step();
+    engine
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step");
+    for batch in [1u32, 8, 32, 128] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let mut engine = engine_with_batch(batch);
+            b.iter(|| {
+                // Keep the closed loop full: once the batch drains, submit a
+                // fresh wave so every measured step does real decode work.
+                if !engine.has_work() {
+                    for _ in 0..batch {
+                        engine.submit(RequestSpec::new(300, 1_000)).expect("fits");
+                    }
+                }
+                black_box(engine.step())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

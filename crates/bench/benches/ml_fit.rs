@@ -1,0 +1,51 @@
+//! Criterion bench of the model fits behind Fig. 8: the LLM-Pilot GBDT
+//! (weighted + monotone), the PARIS/RF random forest and the PerfNet MLP,
+//! at characterization-dataset scale (~600 rows × ~36 features).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use std::hint::black_box;
+
+use llmpilot_ml::{
+    Dataset, ForestParams, Gbdt, GbdtParams, Mlp, MlpParams, RandomForest,
+};
+
+fn synthetic(rows: usize, cols: usize) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(9);
+    let data: Vec<Vec<f64>> = (0..rows)
+        .map(|_| (0..cols).map(|_| rng.random::<f64>() * 10.0).collect())
+        .collect();
+    let targets: Vec<f64> = data
+        .iter()
+        .map(|r| (r[0] * 0.5).exp().min(100.0) + r[1] + 0.3 * r[2] * r[3])
+        .collect();
+    Dataset::from_rows(&data, targets).expect("valid")
+}
+
+fn bench_fits(c: &mut Criterion) {
+    let ds = synthetic(600, 36);
+    let mut monotone = vec![0i8; 36];
+    monotone[35] = 1;
+
+    c.bench_function("gbdt_fit_weighted_monotone_600x36", |b| {
+        let params = GbdtParams {
+            n_trees: 200,
+            max_depth: 5,
+            monotone_constraints: monotone.clone(),
+            ..GbdtParams::default()
+        };
+        b.iter(|| black_box(Gbdt::fit(&ds, &params).expect("fit")));
+    });
+    c.bench_function("forest_fit_100x_600x36", |b| {
+        let params = ForestParams { n_trees: 100, ..ForestParams::default() };
+        b.iter(|| black_box(RandomForest::fit(&ds, &params).expect("fit")));
+    });
+    c.bench_function("mlp_fit_50ep_600x36", |b| {
+        let params = MlpParams { epochs: 50, ..MlpParams::default() };
+        b.iter(|| black_box(Mlp::fit(&ds, &params).expect("fit")));
+    });
+}
+
+criterion_group!(benches, bench_fits);
+criterion_main!(benches);

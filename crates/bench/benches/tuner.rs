@@ -1,0 +1,29 @@
+//! Criterion bench of the maximum-batch-weight binary search (the tuning
+//! step whose real-hardware cost dominates the Sec. V-B overhead estimate).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use llmpilot_sim::gpu::{a100_40, h100, t4, GpuProfile, GpuSpec};
+use llmpilot_sim::llm::{flan_t5_xxl, llama2_13b, LlmSpec};
+use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
+use llmpilot_sim::tuner::tune_max_batch_weight;
+
+fn bench_tuner(c: &mut Criterion) {
+    let cases: Vec<(&str, LlmSpec, GpuSpec, u32)> = vec![
+        ("llama13b_1xA100-40", llama2_13b(), a100_40(), 1),
+        ("llama13b_4xH100", llama2_13b(), h100(), 4),
+        ("t5xxl_2xT4", flan_t5_xxl(), t4(), 4),
+    ];
+    let mut group = c.benchmark_group("tune_max_batch_weight");
+    for (name, llm, gpu, count) in cases {
+        let mem = MemoryModel::new(llm, GpuProfile::new(gpu, count), MemoryConfig::default());
+        group.bench_with_input(BenchmarkId::from_parameter(name), &mem, |b, mem| {
+            b.iter(|| black_box(tune_max_batch_weight(mem)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_tuner);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench backing the Sec. V-A sampling-speed claim: drawing
+//! requests from the fitted joint model (alias method) vs resampling the
+//! raw traces, plus the independent-marginals ablation sampler.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+use llmpilot_bench::{build_traces, workload_params};
+use llmpilot_workload::{IndependentSampler, TraceResampler, WorkloadModel, WorkloadSampler};
+
+fn bench_sampling(c: &mut Criterion) {
+    let traces = build_traces(60_000);
+    let model = WorkloadModel::fit(&traces, &workload_params()).expect("fit");
+    let joint = WorkloadSampler::new(model.clone());
+    let independent = IndependentSampler::new(&model);
+    let resampler = TraceResampler::new(&traces, &workload_params());
+
+    let mut group = c.benchmark_group("workload_sampling_1000");
+    group.bench_function("generator_joint", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| {
+                for _ in 0..1000 {
+                    black_box(joint.sample(&mut rng));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("generator_independent", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| {
+                for _ in 0..1000 {
+                    black_box(independent.sample(&mut rng));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("trace_resampling", |b| {
+        b.iter_batched(
+            || StdRng::seed_from_u64(1),
+            |mut rng| {
+                for _ in 0..1000 {
+                    black_box(resampler.sample(&mut rng));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+
+    c.bench_function("workload_model_fit_60k", |b| {
+        b.iter(|| WorkloadModel::fit(black_box(&traces), &workload_params()).expect("fit"))
+    });
+}
+
+criterion_group!(benches, bench_sampling);
+criterion_main!(benches);

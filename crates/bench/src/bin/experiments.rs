@@ -1,0 +1,64 @@
+//! Experiment driver: regenerates every table and figure of the LLM-Pilot
+//! paper. Run `experiments list` for the catalog, `experiments <id>` for
+//! one experiment, or `experiments all` for the full suite.
+
+use llmpilot_bench::experiments as exp;
+
+fn usage() -> ! {
+    eprintln!("usage: experiments <id|all|list> [--tune]");
+    eprintln!("experiments:");
+    for (id, desc) in exp::catalog() {
+        eprintln!("  {id:<18} {desc}");
+    }
+    std::process::exit(2);
+}
+
+fn dispatch(id: &str, tune: bool) {
+    match id {
+        "fig1" => exp::fig1::run(),
+        "table1" => exp::table1::run(),
+        "table2" => exp::table2::run(),
+        "fig3" => exp::fig3::run(),
+        "mdi_traces" => exp::mdi::run(),
+        "fig4" => exp::fig4::run(),
+        "fig6" => exp::fig6::run(),
+        "corr_ablation" => exp::corr::run(),
+        "gen_speed" => exp::speed::run(),
+        "table3" => exp::table3::run(),
+        "fig7" => exp::fig7::run(),
+        "overhead" => exp::overhead::run(),
+        "fig8" => exp::fig8::run(tune),
+        "ablate_regressor" => exp::ablate::run_regressor(),
+        "ablate_bins" => exp::ablate::run_bins(),
+        "ablate_paged" => exp::paged::run(),
+        "table4" => exp::table4::run(),
+        other => {
+            eprintln!("unknown experiment: {other}");
+            usage();
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tune = args.iter().any(|a| a == "--tune");
+    let ids: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    match ids.as_slice() {
+        [] => usage(),
+        [id] if *id == "list" => {
+            for (id, desc) in exp::catalog() {
+                println!("{id:<18} {desc}");
+            }
+        }
+        [id] if *id == "all" => {
+            for (id, _) in exp::catalog() {
+                dispatch(id, tune);
+            }
+        }
+        ids => {
+            for id in ids {
+                dispatch(id, tune);
+            }
+        }
+    }
+}

@@ -1,0 +1,46 @@
+//! Fig. 3: Spearman rank correlation between request parameters of the
+//! traces — input/output tokens and batch size strongly correlated with
+//! one another and the sampling parameters correlated as a block.
+
+use llmpilot_traces::{correlation_matrix, Param};
+
+use crate::{build_traces, header, DEFAULT_TRACE_REQUESTS};
+
+/// Compute the core-parameter correlation matrix.
+pub fn matrix() -> (Vec<Param>, Vec<Vec<f64>>) {
+    let traces = build_traces(DEFAULT_TRACE_REQUESTS);
+    let params = Param::core();
+    let m = correlation_matrix(&traces, &params);
+    (params, m)
+}
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Fig. 3 - Spearman correlation between request parameters");
+    let (params, m) = matrix();
+    let short: Vec<String> = params
+        .iter()
+        .map(|p| {
+            let name = p.name();
+            name.chars().take(9).collect()
+        })
+        .collect();
+    print!("{:>20}", "");
+    for s in &short {
+        print!("{s:>10}");
+    }
+    println!();
+    for (i, p) in params.iter().enumerate() {
+        print!("{:>20}", p.name());
+        for j in 0..params.len() {
+            print!("{:>10.2}", m[i][j]);
+        }
+        println!();
+    }
+    println!(
+        "\nkey structure: rho(input, output) = {:.2}, rho(input, batch) = {:.2}, \
+         rho(output, batch) = {:.2},\nrho(decoding, temperature) = {:.2} \
+         (paper: tokens and batch size strongly correlated; sampling params form a block)",
+        m[0][1], m[0][2], m[1][2], m[3][4]
+    );
+}

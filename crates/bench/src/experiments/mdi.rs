@@ -1,0 +1,65 @@
+//! Sec. III-A importance study: a random-forest regressor fitted to the
+//! traces predicts per-request latency (the paper reaches R² ≈ 0.93), and
+//! MDI ranks the output token count first, then input tokens, batch size
+//! and the token-sampling parameters.
+
+use llmpilot_ml::{r2, Dataset, ForestParams, RandomForest};
+use llmpilot_traces::Param;
+
+use crate::{build_traces, header};
+
+/// Fit the RF latency model and return `(r2_holdout, ranked importances)`.
+pub fn importance_study(num_rows: usize) -> (f64, Vec<(String, f64)>) {
+    let traces = build_traces(num_rows);
+    let params = Param::core();
+    let columns: Vec<Vec<f64>> = params.iter().map(|&p| traces.column(p)).collect();
+    let latency = traces.latencies();
+
+    let n = traces.len();
+    let rows: Vec<Vec<f64>> =
+        (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
+
+    // 80/20 split (records are time-ordered; stride split avoids drift bias).
+    let train_idx: Vec<usize> = (0..n).filter(|i| i % 5 != 0).collect();
+    let test_idx: Vec<usize> = (0..n).filter(|i| i % 5 == 0).collect();
+    let train = Dataset::from_rows(
+        &train_idx.iter().map(|&i| rows[i].clone()).collect::<Vec<_>>(),
+        train_idx.iter().map(|&i| latency[i]).collect(),
+    )
+    .expect("valid dataset");
+    let test = Dataset::from_rows(
+        &test_idx.iter().map(|&i| rows[i].clone()).collect::<Vec<_>>(),
+        test_idx.iter().map(|&i| latency[i]).collect(),
+    )
+    .expect("valid dataset");
+
+    let forest = RandomForest::fit(
+        &train,
+        &ForestParams { n_trees: 40, ..ForestParams::default() },
+    )
+    .expect("forest fits");
+    let pred = forest.predict(&test);
+    let score = r2(test.targets(), &pred);
+
+    let mut ranked: Vec<(String, f64)> = params
+        .iter()
+        .zip(forest.feature_importance())
+        .map(|(p, &imp)| (p.name(), imp))
+        .collect();
+    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    (score, ranked)
+}
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Sec. III-A - RF latency model on traces: R^2 and MDI ranking");
+    let (score, ranked) = importance_study(20_000);
+    println!("hold-out R^2 = {score:.3} (paper: ~0.93)");
+    println!("\nMDI importance ranking:");
+    for (name, imp) in &ranked {
+        println!("{name:>20}  {imp:.4}");
+    }
+    println!(
+        "\npaper ranking: output tokens > input tokens > batch size > sampling params"
+    );
+}

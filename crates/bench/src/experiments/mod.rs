@@ -1,0 +1,41 @@
+//! One module per paper table/figure (see DESIGN.md's experiment index).
+
+pub mod ablate;
+pub mod corr;
+pub mod fig1;
+pub mod fig3;
+pub mod fig4;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod mdi;
+pub mod overhead;
+pub mod paged;
+pub mod speed;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+
+/// All experiment ids with descriptions, in paper order.
+pub fn catalog() -> Vec<(&'static str, &'static str)> {
+    vec![
+        ("fig1", "Median e2e latency vs maximum batch weight (starcoder, 1xA100-80, 128 users)"),
+        ("table1", "Per-pod throughput scaling for Llama-2-13b pods on A100-80"),
+        ("table2", "Characteristics of the (synthetic) production traces"),
+        ("fig3", "Spearman correlation between request parameters"),
+        ("mdi_traces", "RF latency model on traces: R^2 and MDI importance ranking"),
+        ("fig4", "MDI of CPU/memory/batch-weight/users for TTFT+ITL (starcoder, 1xA100-40)"),
+        ("fig6", "Marginal CDFs: empirical traces vs workload generator"),
+        ("corr_ablation", "Joint vs independent request sampling: throughput/TTFT/ITL deltas"),
+        ("gen_speed", "Generator size and sampling speed vs raw-trace resampling"),
+        ("table3", "LLM x GPU-profile feasibility matrix"),
+        ("fig7", "TTFT/ITL vs throughput and throughput-per-dollar (flan-t5-xxl)"),
+        ("overhead", "Estimated real-hardware characterization overhead"),
+        ("fig8", "Recommendation quality: success rate, overspend, S/O for all methods"),
+        ("ablate_regressor", "Ablation: sample weights x monotone constraint"),
+        ("ablate_bins", "Ablation: workload-generator bin-count sweep"),
+        ("ablate_paged", "Extension ablation: reservation vs paged-KV admission"),
+        ("table4", "Our column of the benchmarking-tool comparison table"),
+    ]
+}

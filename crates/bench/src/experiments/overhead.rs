@@ -1,0 +1,34 @@
+//! Sec. V-B "characterization overhead": the paper estimates ~8 hours to
+//! collect a dataset of its size on real hardware (≈30 min/LLM of batch
+//! weight tuning plus ≈20 min/LLM of load testing, parallelized over GPUs).
+//! We reproduce the estimate from first principles and report the *actual*
+//! wall-clock cost of the simulated sweep for contrast.
+
+use std::time::Instant;
+
+use llmpilot_core::characterize::estimate_real_overhead_hours;
+use llmpilot_sim::llm::llm_catalog;
+
+use crate::{build_sampler, build_traces, full_characterization, header, DEFAULT_TRACE_REQUESTS};
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Sec. V-B - characterization overhead");
+    let num_llms = llm_catalog().len();
+    let estimate = estimate_real_overhead_hours(num_llms, 8, 120.0, 30.0);
+    println!(
+        "estimated real-hardware cost for {num_llms} LLMs x 14 profiles: {estimate:.1} h \
+         (paper: ~8 h = 5 h tuning + 3 h load testing)"
+    );
+
+    let traces = build_traces(DEFAULT_TRACE_REQUESTS);
+    let sampler = build_sampler(&traces);
+    let t0 = Instant::now();
+    let ds = full_characterization(&sampler);
+    let wall = t0.elapsed().as_secs_f64();
+    println!(
+        "simulated sweep: {} rows over {} feasible cells in {wall:.1} s of wall-clock time",
+        ds.len(),
+        ds.tuned_weights.len()
+    );
+}

@@ -1,0 +1,102 @@
+//! Sec. V-A "size and sampling speed": the fitted generator is orders of
+//! magnitude smaller than the raw traces it models, its multi-dimensional
+//! histogram is sparse, and producing requests is much faster than
+//! resampling raw traces (paper: <1 MB vs 1.6 GB; 46.5k non-empty of 10.7B
+//! possible bins; 22 ms vs 770 ms for 1000 requests, 35×).
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use llmpilot_traces::TraceDataset;
+use llmpilot_workload::{TraceResampler, WorkloadModel, WorkloadSampler};
+
+use crate::{build_traces, header, workload_params, DEFAULT_TRACE_REQUESTS};
+
+/// Measured size/speed comparison.
+pub struct SpeedReport {
+    /// Raw-trace storage footprint, bytes.
+    pub trace_bytes: usize,
+    /// Fitted generator footprint, bytes.
+    pub model_bytes: usize,
+    /// Non-empty multi-dimensional bins.
+    pub nonempty_bins: usize,
+    /// Theoretically possible bins.
+    pub possible_bins: f64,
+    /// Wall time to draw 1000 requests from the generator, seconds.
+    pub generator_time_s: f64,
+    /// Wall time to draw 1000 requests by resampling raw traces, seconds.
+    pub resample_time_s: f64,
+}
+
+/// Run the measurement.
+pub fn measure(traces: &TraceDataset) -> SpeedReport {
+    let model = WorkloadModel::fit(traces, &workload_params()).expect("non-empty traces");
+    let sampler = WorkloadSampler::new(model.clone());
+    let resampler = TraceResampler::new(traces, &workload_params());
+    let mut rng = StdRng::seed_from_u64(0x59EE);
+
+    let draws = 1000;
+    let reps = 50;
+
+    let t0 = Instant::now();
+    let mut sink = 0u64;
+    for _ in 0..reps {
+        for _ in 0..draws {
+            sink = sink.wrapping_add(u64::from(sampler.sample(&mut rng).input_tokens().unwrap()));
+        }
+    }
+    let generator_time_s = t0.elapsed().as_secs_f64() / reps as f64;
+
+    let t1 = Instant::now();
+    for _ in 0..reps {
+        for _ in 0..draws {
+            sink =
+                sink.wrapping_add(u64::from(resampler.sample(&mut rng).input_tokens().unwrap()));
+        }
+    }
+    let resample_time_s = t1.elapsed().as_secs_f64() / reps as f64;
+    assert!(sink > 0, "keep the sampling loops observable");
+
+    SpeedReport {
+        trace_bytes: traces.approx_storage_bytes(),
+        model_bytes: model.approx_size_bytes(),
+        nonempty_bins: model.num_nonempty_bins(),
+        possible_bins: model.num_possible_bins(),
+        generator_time_s,
+        resample_time_s,
+    }
+}
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Sec. V-A - generator size and sampling speed");
+    let traces = build_traces(DEFAULT_TRACE_REQUESTS);
+    let r = measure(&traces);
+    println!(
+        "traces: {:.1} MB ({} requests) -> generator: {:.3} MB  ({:.0}x smaller)",
+        r.trace_bytes as f64 / 1e6,
+        DEFAULT_TRACE_REQUESTS,
+        r.model_bytes as f64 / 1e6,
+        r.trace_bytes as f64 / r.model_bytes as f64
+    );
+    println!(
+        "non-empty bins: {} of {:.3e} possible ({:.2e} fill rate)",
+        r.nonempty_bins,
+        r.possible_bins,
+        r.nonempty_bins as f64 / r.possible_bins
+    );
+    println!(
+        "1000 requests: generator {:.3} ms vs trace resampling {:.3} ms ({:.1}x)",
+        r.generator_time_s * 1e3,
+        r.resample_time_s * 1e3,
+        r.resample_time_s / r.generator_time_s
+    );
+    println!("paper: <1 MB vs 1.6 GB; 46.5k of 10.7B bins; 22 ms vs 770 ms (35x)");
+    println!(
+        "note: the paper's baseline resamples traces through a Python/pandas path;\n\
+         both paths here are compiled Rust, so the speed gap narrows while the\n\
+         size gap (the structural claim) holds."
+    );
+}

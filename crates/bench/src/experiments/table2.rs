@@ -1,0 +1,19 @@
+//! Table II: characteristics of the production traces. Ours are synthetic
+//! (see DESIGN.md); the structure — horizon, user population, LLM count,
+//! token/batch ranges, 33 additional parameters — mirrors the paper's.
+
+use llmpilot_traces::summarize;
+
+use crate::{build_traces, header, DEFAULT_TRACE_REQUESTS};
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Table II - characteristics of the (synthetic) production traces");
+    let traces = build_traces(DEFAULT_TRACE_REQUESTS);
+    let summary = summarize(&traces);
+    println!("{summary}");
+    println!(
+        "\npaper reference: 5.5 months, 17.3M requests, ~2500 users, 24 LLMs,\n\
+         input 1-4093 / output 1-1500 tokens, batch 1-5, 33 additional parameters"
+    );
+}

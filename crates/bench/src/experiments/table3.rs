@@ -1,0 +1,63 @@
+//! Table III: which of the 10 LLMs × 14 GPU profiles can be benchmarked —
+//! ✓ feasible, × insufficient memory, − software/hardware limitation.
+
+use llmpilot_sim::gpu::paper_profiles;
+use llmpilot_sim::llm::llm_catalog;
+use llmpilot_sim::memory::{feasibility_matrix, MemoryConfig};
+
+use crate::header;
+
+/// The paper's Table III cells, row-major over the catalog LLMs.
+pub const PAPER_CELLS: [(&str, &str); 10] = [
+    ("google/flan-t5-xl", "YYY YYY YY YYY YYY"),
+    ("google/flan-t5-xxl", "YYY YYY xY xxY xxY"),
+    ("google/flan-ul2", "YYY xYY xx xxx xxx"),
+    ("ibm/mpt-7b-instruct2", "Y-- Y-- x- x-- x--"),
+    ("bigscience/mt0-xxl", "Y-- Y-- x- x-- x--"),
+    ("Salesforce/codegen2-16B", "Y-- x-- x- x-- x--"),
+    ("Llama-2-7b", "YYY YYY YY xYY ---"),
+    ("Llama-2-13b", "YYY YYY xY xxY ---"),
+    ("EleutherAI/gpt-neox-20b", "YYY xYY xY xxY ---"),
+    ("bigcode/starcoder", "YYY YYY xY xxY ---"),
+];
+
+/// Run and print the experiment, reporting per-cell agreement with the
+/// paper.
+pub fn run() {
+    header("Table III - LLM x GPU-profile feasibility (Y feasible, x memory, - sw/hw)");
+    let llms = llm_catalog();
+    let profiles = paper_profiles();
+    let matrix = feasibility_matrix(&llms, &profiles, &MemoryConfig::default());
+
+    print!("{:<26}", "LLM");
+    for p in &profiles {
+        print!(" {:>3}", format!("{}x", p.count));
+    }
+    println!();
+    print!("{:<26}", "");
+    for p in &profiles {
+        let short: String = p.gpu.name.chars().take(3).collect();
+        print!(" {short:>3}");
+    }
+    println!();
+
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (i, llm) in llms.iter().enumerate() {
+        print!("{:<26}", llm.name);
+        let paper: Vec<char> =
+            PAPER_CELLS[i].1.chars().filter(|c| !c.is_whitespace()).collect();
+        for (j, _) in profiles.iter().enumerate() {
+            let ours = matrix[i][j].glyph();
+            let mark = if ours == paper[j].to_string() { ' ' } else { '*' };
+            print!(" {ours:>2}{mark}");
+            total += 1;
+            agree += usize::from(ours == paper[j].to_string());
+        }
+        println!();
+    }
+    println!(
+        "\nagreement with the paper's Table III: {agree}/{total} cells \
+         (* marks deviations; see EXPERIMENTS.md)"
+    );
+}

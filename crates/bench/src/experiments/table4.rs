@@ -1,0 +1,37 @@
+//! Table IV: comparison of LLM benchmarking tools. The other tools' rows
+//! are literature facts; this experiment verifies and prints *our* row —
+//! workload based on real(istic) trace data, maximum-batch-weight tuning,
+//! and the size of the released performance dataset.
+
+use crate::{build_sampler, build_traces, full_characterization, header};
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Table IV - benchmarking-tool comparison (our row, verified)");
+    let traces = build_traces(crate::DEFAULT_TRACE_REQUESTS);
+    let sampler = build_sampler(&traces);
+    let ds = full_characterization(&sampler);
+    let llms = ds.llms().len();
+    let profiles = ds.profiles().len();
+
+    println!("{:<18} {:>20} {:>18} {:>10} {:>10}", "tool", "workload real data", "batch wt tuning", "#LLMs", "#GPUs");
+    for (tool, real, tuning, l, g) in [
+        ("Optimum", "x", "x", "34", "2"),
+        ("LLMPerf", "x", "x", "3", "1"),
+        ("Inference bench", "x", "x", "1", "1"),
+        ("Fleece", "Y", "x", "5", "5"),
+        ("vLLM", "Y", "x", "3", "2"),
+        ("MLPerf", "Y", "x", "2", "10"),
+    ] {
+        println!("{tool:<18} {real:>20} {tuning:>18} {l:>10} {g:>10}");
+    }
+    println!(
+        "{:<18} {:>20} {:>18} {:>10} {:>10}   <- measured from this build",
+        "LLM-Pilot (ours)",
+        "Y",
+        "Y",
+        llms,
+        profiles
+    );
+    println!("\npaper row: LLM-Pilot - real-data workload, tuned batch weight, 10 LLMs, 14 GPUs");
+}

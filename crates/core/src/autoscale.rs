@@ -1,0 +1,309 @@
+//! Demand-driven pod autoscaling (Sec. II-C: "Load balancing is performed
+//! across the pods of the deployment … and the number of pods can be
+//! scaled up or down based on demand").
+//!
+//! This module simulates the *capacity level* of that control loop: given a
+//! demand curve `U(t)` (concurrent users over time), a per-pod capacity
+//! `u_max` (measured by the characterization tool or predicted by the
+//! performance model), pod startup latency and scaling cooldowns, it plays
+//! the reconciliation loop forward and reports SLA attainment and the cost
+//! integral — the quantities an administrator trades off when sizing
+//! `min/max` replicas.
+
+use crate::error::CoreError;
+
+/// Autoscaler policy knobs (the shape of a Kubernetes HPA on a custom
+/// users-per-pod metric).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutoscalerConfig {
+    /// Lower bound on ready+starting pods.
+    pub min_pods: u32,
+    /// Upper bound on ready+starting pods.
+    pub max_pods: u32,
+    /// Control-loop period, seconds.
+    pub evaluation_interval_s: f64,
+    /// Time for a new pod to become ready (image pull + model load).
+    pub pod_startup_s: f64,
+    /// Minimum time between consecutive scale-ups.
+    pub scale_up_cooldown_s: f64,
+    /// Minimum time between consecutive scale-downs (longer in practice, to
+    /// avoid flapping).
+    pub scale_down_cooldown_s: f64,
+    /// Headroom factor: desired pods = ceil(U / (u_max / headroom)).
+    /// 1.0 = size exactly to capacity; >1 leaves slack.
+    pub headroom: f64,
+}
+
+impl Default for AutoscalerConfig {
+    fn default() -> Self {
+        Self {
+            min_pods: 1,
+            max_pods: 64,
+            evaluation_interval_s: 30.0,
+            pod_startup_s: 120.0,
+            scale_up_cooldown_s: 60.0,
+            scale_down_cooldown_s: 300.0,
+            headroom: 1.0,
+        }
+    }
+}
+
+/// One sample of the simulated timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleSample {
+    /// Time of the control tick, seconds.
+    pub time_s: f64,
+    /// Demand at the tick, concurrent users.
+    pub users: u32,
+    /// Pods ready to serve.
+    pub ready_pods: u32,
+    /// Pods still starting up.
+    pub starting_pods: u32,
+    /// Whether ready capacity covered the demand at this tick.
+    pub sla_met: bool,
+}
+
+/// Result of an autoscaling simulation.
+#[derive(Debug, Clone)]
+pub struct AutoscaleOutcome {
+    /// Per-tick timeline.
+    pub timeline: Vec<AutoscaleSample>,
+    /// Fraction of ticks where ready capacity covered demand.
+    pub sla_attainment: f64,
+    /// Pod-hours consumed (ready + starting pods both bill).
+    pub pod_hours: f64,
+    /// Number of scale-up events.
+    pub scale_ups: u32,
+    /// Number of scale-down events.
+    pub scale_downs: u32,
+}
+
+impl AutoscaleOutcome {
+    /// Total cost given a per-pod hourly price.
+    pub fn cost(&self, pod_cost_per_hour: f64) -> f64 {
+        self.pod_hours * pod_cost_per_hour
+    }
+}
+
+/// Simulate the autoscaler against a demand curve.
+///
+/// `demand` maps time (seconds) to concurrent users; `u_max` is the per-pod
+/// user capacity under the SLA (Eq. (3)); the loop runs for `duration_s`.
+pub fn simulate_autoscaler<F>(
+    config: &AutoscalerConfig,
+    u_max: u32,
+    duration_s: f64,
+    demand: F,
+) -> Result<AutoscaleOutcome, CoreError>
+where
+    F: Fn(f64) -> u32,
+{
+    if u_max == 0 {
+        return Err(CoreError::InsufficientData("u_max must be >= 1".into()));
+    }
+    if config.min_pods == 0 || config.max_pods < config.min_pods {
+        return Err(CoreError::InsufficientData(
+            "need 1 <= min_pods <= max_pods".into(),
+        ));
+    }
+    if config.evaluation_interval_s <= 0.0 || duration_s <= 0.0 {
+        return Err(CoreError::InsufficientData(
+            "interval and duration must be positive".into(),
+        ));
+    }
+    if config.headroom < 1.0 {
+        return Err(CoreError::InsufficientData("headroom must be >= 1.0".into()));
+    }
+
+    let effective_capacity = (f64::from(u_max) / config.headroom).max(1.0);
+    let mut ready = config.min_pods;
+    // Pods in flight: readiness times.
+    let mut starting: Vec<f64> = Vec::new();
+    let mut last_scale_up = f64::NEG_INFINITY;
+    let mut last_scale_down = f64::NEG_INFINITY;
+
+    let mut timeline = Vec::new();
+    let mut pod_seconds = 0.0f64;
+    let mut scale_ups = 0u32;
+    let mut scale_downs = 0u32;
+
+    let mut t = 0.0f64;
+    while t < duration_s {
+        // Pods finishing startup become ready.
+        starting.retain(|&ready_at| {
+            if ready_at <= t {
+                ready += 1;
+                false
+            } else {
+                true
+            }
+        });
+
+        let users = demand(t);
+        let desired = ((f64::from(users) / effective_capacity).ceil() as u32)
+            .clamp(config.min_pods, config.max_pods);
+        let committed = ready + starting.len() as u32;
+
+        if desired > committed && t - last_scale_up >= config.scale_up_cooldown_s {
+            for _ in 0..(desired - committed) {
+                starting.push(t + config.pod_startup_s);
+            }
+            last_scale_up = t;
+            scale_ups += 1;
+        } else if desired < committed && t - last_scale_down >= config.scale_down_cooldown_s {
+            // Scale down prefers killing not-yet-ready pods first.
+            let mut to_remove = committed - desired;
+            while to_remove > 0 && !starting.is_empty() {
+                starting.pop();
+                to_remove -= 1;
+            }
+            let removable = ready.saturating_sub(config.min_pods).min(to_remove);
+            ready -= removable;
+            last_scale_down = t;
+            scale_downs += 1;
+        }
+
+        let sla_met = u64::from(ready) * u64::from(u_max) >= u64::from(users);
+        timeline.push(AutoscaleSample {
+            time_s: t,
+            users,
+            ready_pods: ready,
+            starting_pods: starting.len() as u32,
+            sla_met,
+        });
+        pod_seconds += (f64::from(ready) + starting.len() as f64) * config.evaluation_interval_s;
+        t += config.evaluation_interval_s;
+    }
+
+    let met = timeline.iter().filter(|s| s.sla_met).count();
+    Ok(AutoscaleOutcome {
+        sla_attainment: met as f64 / timeline.len().max(1) as f64,
+        pod_hours: pod_seconds / 3_600.0,
+        scale_ups,
+        scale_downs,
+        timeline,
+    })
+}
+
+/// A diurnal demand curve: `base + amplitude · max(0, sin)` shaped to peak
+/// mid-day, the pattern of the production traces' arrival analysis.
+pub fn diurnal_demand(base: u32, amplitude: u32) -> impl Fn(f64) -> u32 {
+    move |t: f64| {
+        let phase = (t / 86_400.0) * std::f64::consts::TAU - std::f64::consts::FRAC_PI_2;
+        let s = phase.sin().max(0.0);
+        base + (f64::from(amplitude) * s).round() as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AutoscalerConfig {
+        AutoscalerConfig {
+            min_pods: 1,
+            max_pods: 32,
+            evaluation_interval_s: 30.0,
+            pod_startup_s: 120.0,
+            scale_up_cooldown_s: 30.0,
+            scale_down_cooldown_s: 300.0,
+            headroom: 1.0,
+        }
+    }
+
+    #[test]
+    fn constant_demand_settles_at_the_exact_pod_count() {
+        let outcome =
+            simulate_autoscaler(&config(), 16, 7_200.0, |_| 100).expect("valid config");
+        let last = outcome.timeline.last().unwrap();
+        assert_eq!(last.ready_pods, 7); // ceil(100/16)
+        assert_eq!(last.starting_pods, 0);
+        // After the first startup window, the SLA holds.
+        let after_warm: Vec<_> =
+            outcome.timeline.iter().filter(|s| s.time_s > 300.0).collect();
+        assert!(after_warm.iter().all(|s| s.sla_met));
+    }
+
+    #[test]
+    fn startup_latency_causes_a_transient_sla_gap_on_a_step() {
+        // Demand steps from 10 to 200 at t=1h: the gap lasts about one pod
+        // startup, then closes.
+        let step = |t: f64| if t < 3_600.0 { 10 } else { 200 };
+        let outcome = simulate_autoscaler(&config(), 16, 7_200.0, step).unwrap();
+        let misses: Vec<f64> = outcome
+            .timeline
+            .iter()
+            .filter(|s| !s.sla_met)
+            .map(|s| s.time_s)
+            .collect();
+        assert!(!misses.is_empty(), "a step must cause a transient miss");
+        assert!(misses.iter().all(|&t| (3_600.0..3_600.0 + 300.0).contains(&t)));
+        assert!(outcome.sla_attainment > 0.9);
+    }
+
+    #[test]
+    fn pod_count_respects_bounds() {
+        let cfg = AutoscalerConfig { min_pods: 2, max_pods: 5, ..config() };
+        let outcome = simulate_autoscaler(&cfg, 4, 14_400.0, |_| 1_000).unwrap();
+        for s in &outcome.timeline {
+            let total = s.ready_pods + s.starting_pods;
+            assert!(total >= 2 && total <= 5, "{s:?}");
+        }
+        // Demand far exceeds max capacity: the SLA cannot be met.
+        assert_eq!(outcome.sla_attainment, 0.0);
+    }
+
+    #[test]
+    fn headroom_buys_attainment_at_higher_cost() {
+        let demand = diurnal_demand(20, 180);
+        let tight = simulate_autoscaler(&config(), 16, 86_400.0, &demand).unwrap();
+        let slack = simulate_autoscaler(
+            &AutoscalerConfig { headroom: 1.5, ..config() },
+            16,
+            86_400.0,
+            &demand,
+        )
+        .unwrap();
+        assert!(slack.sla_attainment >= tight.sla_attainment);
+        assert!(slack.pod_hours > tight.pod_hours);
+    }
+
+    #[test]
+    fn scale_down_cooldown_limits_flapping() {
+        // Demand oscillates every tick; scale-downs must be rate-limited.
+        let flappy = |t: f64| if (t / 30.0) as u64 % 2 == 0 { 10 } else { 100 };
+        let outcome = simulate_autoscaler(&config(), 16, 3_600.0, flappy).unwrap();
+        let max_downs = (3_600.0 / 300.0) as u32 + 1;
+        assert!(
+            outcome.scale_downs <= max_downs,
+            "{} scale-downs exceed cooldown budget {max_downs}",
+            outcome.scale_downs
+        );
+    }
+
+    #[test]
+    fn diurnal_demand_peaks_mid_window_and_respects_base() {
+        let d = diurnal_demand(10, 100);
+        assert_eq!(d(0.0), 10);
+        let peak = d(86_400.0 / 2.0);
+        assert!(peak > 100, "peak = {peak}");
+        assert!(d(86_400.0 * 0.9) >= 10);
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(simulate_autoscaler(&config(), 0, 100.0, |_| 1).is_err());
+        let bad = AutoscalerConfig { min_pods: 5, max_pods: 2, ..config() };
+        assert!(simulate_autoscaler(&bad, 4, 100.0, |_| 1).is_err());
+        let bad = AutoscalerConfig { headroom: 0.5, ..config() };
+        assert!(simulate_autoscaler(&bad, 4, 100.0, |_| 1).is_err());
+        assert!(simulate_autoscaler(&config(), 4, -5.0, |_| 1).is_err());
+    }
+
+    #[test]
+    fn cost_scales_with_pod_hours() {
+        let outcome = simulate_autoscaler(&config(), 16, 7_200.0, |_| 100).unwrap();
+        assert!((outcome.cost(2.0) - 2.0 * outcome.pod_hours).abs() < 1e-12);
+        assert!(outcome.pod_hours > 0.0);
+    }
+}

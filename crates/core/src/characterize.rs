@@ -1,0 +1,336 @@
+//! The performance characterization tool (Sec. III, Fig. 2).
+//!
+//! For every `(LLM, GPU profile)` combination, LLM-Pilot (1) deploys the
+//! inference service, (2) tunes the maximum batch weight to maximize GPU
+//! utilization, and (3) runs a series of load-testing experiments with
+//! exponentially increasing numbers of concurrent users, collecting TTFT,
+//! normalized TTFT, inter-token latency and throughput. The grid sweep is
+//! embarrassingly parallel and runs cells across threads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use llmpilot_sim::engine::Engine;
+use llmpilot_sim::gpu::GpuProfile;
+use llmpilot_sim::llm::LlmSpec;
+use llmpilot_sim::load::{default_user_sweep, run_load_test, LoadTestConfig};
+use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
+use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
+use llmpilot_sim::request::{RequestSource, RequestSpec};
+use llmpilot_sim::tuner::tune_max_batch_weight;
+use llmpilot_workload::{IndependentSampler, WorkloadSampler};
+
+use crate::dataset::{CharacterizationDataset, PerfRow};
+
+/// Adapter: drive the simulator with requests drawn from the workload
+/// generator's joint model.
+#[derive(Debug)]
+pub struct WorkloadRequestSource {
+    sampler: WorkloadSampler,
+    rng: StdRng,
+}
+
+impl WorkloadRequestSource {
+    /// A seeded request stream over the given sampler.
+    pub fn new(sampler: WorkloadSampler, seed: u64) -> Self {
+        Self { sampler, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RequestSource for WorkloadRequestSource {
+    fn next_request(&mut self) -> RequestSpec {
+        let r = self.sampler.sample(&mut self.rng);
+        RequestSpec {
+            input_tokens: r.input_tokens().unwrap_or(1),
+            output_tokens: r.output_tokens().unwrap_or(1),
+            batch_size: r.batch_size().unwrap_or(1),
+        }
+    }
+}
+
+/// Adapter for the Sec. V-A ablation: requests with *independently* sampled
+/// parameters (marginals preserved, correlations destroyed).
+#[derive(Debug)]
+pub struct IndependentRequestSource {
+    sampler: IndependentSampler,
+    rng: StdRng,
+}
+
+impl IndependentRequestSource {
+    /// A seeded independent-marginals request stream.
+    pub fn new(sampler: IndependentSampler, seed: u64) -> Self {
+        Self { sampler, rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl RequestSource for IndependentRequestSource {
+    fn next_request(&mut self) -> RequestSpec {
+        let r = self.sampler.sample(&mut self.rng);
+        RequestSpec {
+            input_tokens: r.input_tokens().unwrap_or(1),
+            output_tokens: r.output_tokens().unwrap_or(1),
+            batch_size: r.batch_size().unwrap_or(1),
+        }
+    }
+}
+
+/// Configuration of a characterization sweep.
+#[derive(Debug, Clone)]
+pub struct CharacterizeConfig {
+    /// Duration of each load test, virtual seconds (the paper: 2 minutes).
+    pub duration_s: f64,
+    /// Warm-up period excluded from the metrics (the paper: none).
+    pub warmup_s: f64,
+    /// Concurrent-user sweep (the paper: 1, 2, 4, …, 128).
+    pub user_sweep: Vec<u32>,
+    /// Base seed; per-cell streams derive from it deterministically.
+    pub seed: u64,
+    /// Memory-model constants.
+    pub mem_config: MemoryConfig,
+    /// Performance-model constants.
+    pub perf_config: PerfModelConfig,
+}
+
+impl Default for CharacterizeConfig {
+    fn default() -> Self {
+        Self {
+            duration_s: 120.0,
+            warmup_s: 0.0,
+            user_sweep: default_user_sweep(),
+            seed: 0xB17,
+            mem_config: MemoryConfig::default(),
+            perf_config: PerfModelConfig::default(),
+        }
+    }
+}
+
+/// Deterministic per-cell seed (FNV-1a over the cell identity).
+fn cell_seed(base: u64, llm: &str, profile: &str, users: u32) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+    for b in llm.bytes().chain(profile.bytes()).chain(users.to_le_bytes()) {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Characterize one `(LLM, GPU profile)` cell: tune the batch weight, then
+/// load-test every user count. Returns `None` when the combination is
+/// infeasible (an × or − cell of Table III), along with the tuned weight
+/// otherwise.
+pub fn characterize_cell(
+    llm: &LlmSpec,
+    profile: &GpuProfile,
+    sampler: &WorkloadSampler,
+    config: &CharacterizeConfig,
+) -> Option<(u64, Vec<PerfRow>)> {
+    let mem = MemoryModel::new(llm.clone(), profile.clone(), config.mem_config.clone());
+    if !mem.feasibility().is_feasible() {
+        return None;
+    }
+    let tuned = tune_max_batch_weight(&mem).ok()?;
+
+    let mut rows = Vec::with_capacity(config.user_sweep.len());
+    for &users in &config.user_sweep {
+        let perf = PerfModel::new(llm.clone(), profile.clone(), config.perf_config.clone());
+        let mut engine = Engine::new(perf, tuned.max_batch_weight);
+        let mut source = WorkloadRequestSource::new(
+            sampler.clone(),
+            cell_seed(config.seed, llm.name, &profile.name(), users),
+        );
+        let metrics = run_load_test(
+            &mut engine,
+            &mem,
+            &mut source,
+            &LoadTestConfig {
+                duration_s: config.duration_s,
+                warmup_s: config.warmup_s,
+                concurrent_users: users,
+            },
+        )
+        .ok()?;
+        // Pathological windows (nothing measurable post-warmup) yield NaN
+        // medians; drop such points rather than poisoning the dataset.
+        if !(metrics.ttft_median_s.is_finite()
+            && metrics.nttft_median_s.is_finite()
+            && metrics.itl_median_s.is_finite()
+            && metrics.throughput_tokens_per_s.is_finite())
+        {
+            continue;
+        }
+        rows.push(PerfRow {
+            llm: llm.name.to_string(),
+            profile: profile.name(),
+            users,
+            ttft_s: metrics.ttft_median_s,
+            nttft_s: metrics.nttft_median_s,
+            itl_s: metrics.itl_median_s,
+            throughput: metrics.throughput_tokens_per_s,
+        });
+    }
+    Some((tuned.max_batch_weight, rows))
+}
+
+/// Run the full characterization sweep over an LLM × GPU-profile grid,
+/// parallelized over cells. Infeasible cells are skipped, like the paper's
+/// Table III.
+pub fn characterize(
+    llms: &[LlmSpec],
+    profiles: &[GpuProfile],
+    sampler: &WorkloadSampler,
+    config: &CharacterizeConfig,
+) -> CharacterizationDataset {
+    let cells: Vec<(LlmSpec, GpuProfile)> = llms
+        .iter()
+        .flat_map(|m| profiles.iter().map(move |p| (m.clone(), p.clone())))
+        .collect();
+
+    let results: Vec<Option<(String, String, u64, Vec<PerfRow>)>> = cells
+        .par_iter()
+        .map(|(llm, profile)| {
+            characterize_cell(llm, profile, sampler, config)
+                .map(|(w, rows)| (llm.name.to_string(), profile.name(), w, rows))
+        })
+        .collect();
+
+    let mut ds = CharacterizationDataset::default();
+    for (llm, profile, weight, rows) in results.into_iter().flatten() {
+        ds.tuned_weights.insert((llm, profile), weight);
+        ds.rows.extend(rows);
+    }
+    ds
+}
+
+/// Estimate of the wall-clock overhead of running this characterization on
+/// *real* hardware (Sec. V-B "characterization overhead"): per LLM, batch
+/// weight tuning costs roughly `tuning_minutes_per_llm`, and load testing
+/// costs deploy time plus the user sweep at `duration_s` each; work is
+/// parallelized over GPU profiles, so LLMs are the serial dimension.
+pub fn estimate_real_overhead_hours(
+    num_llms: usize,
+    user_sweep_len: usize,
+    duration_s: f64,
+    tuning_minutes_per_llm: f64,
+) -> f64 {
+    let load_minutes_per_llm = 4.0 /* deploy + warmup */ + user_sweep_len as f64 * duration_s / 60.0;
+    num_llms as f64 * (tuning_minutes_per_llm + load_minutes_per_llm) / 60.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_sim::gpu::{a100_40, t4, v100};
+    use llmpilot_sim::llm::{flan_t5_xl, flan_ul2, llama2_13b, llama2_7b};
+    use llmpilot_traces::{Param, TraceGenerator, TraceGeneratorConfig};
+    use llmpilot_workload::WorkloadModel;
+
+    fn sampler() -> WorkloadSampler {
+        let traces = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 20_000,
+            seed: 55,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let model = WorkloadModel::fit(
+            &traces,
+            &[Param::InputTokens, Param::OutputTokens, Param::BatchSize],
+        )
+        .unwrap();
+        WorkloadSampler::new(model)
+    }
+
+    fn quick_config() -> CharacterizeConfig {
+        CharacterizeConfig {
+            duration_s: 20.0,
+            user_sweep: vec![1, 8, 64],
+            ..CharacterizeConfig::default()
+        }
+    }
+
+    #[test]
+    fn cell_produces_one_row_per_user_count() {
+        let s = sampler();
+        let (weight, rows) = characterize_cell(
+            &llama2_13b(),
+            &GpuProfile::new(a100_40(), 1),
+            &s,
+            &quick_config(),
+        )
+        .unwrap();
+        assert!(weight > 0);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.ttft_s > 0.0);
+            assert!(r.itl_s > 0.0);
+            assert!(r.nttft_s > 0.0);
+            assert!(r.throughput > 0.0);
+        }
+        // Latency degrades with load.
+        assert!(rows[2].ttft_s >= rows[0].ttft_s);
+    }
+
+    #[test]
+    fn infeasible_cells_are_skipped() {
+        let s = sampler();
+        assert!(characterize_cell(
+            &flan_ul2(),
+            &GpuProfile::new(t4(), 1),
+            &s,
+            &quick_config()
+        )
+        .is_none());
+        // Flash model on V100: software-unsupported.
+        assert!(characterize_cell(
+            &llama2_7b(),
+            &GpuProfile::new(v100(), 1),
+            &s,
+            &quick_config()
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn sweep_collects_feasible_grid() {
+        let s = sampler();
+        let llms = vec![flan_t5_xl(), llama2_7b()];
+        let profiles = vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1)];
+        let ds = characterize(&llms, &profiles, &s, &quick_config());
+        // flan-t5-xl fits both; llama-2-7b does not fit 1xT4.
+        assert!(ds.cell_feasible("google/flan-t5-xl", "1xT4-16GB"));
+        assert!(ds.cell_feasible("google/flan-t5-xl", "1xA100-40GB"));
+        assert!(ds.cell_feasible("Llama-2-7b", "1xA100-40GB"));
+        assert!(!ds.cell_feasible("Llama-2-7b", "1xT4-16GB"));
+        assert_eq!(ds.len(), 3 * 3);
+        assert_eq!(ds.tuned_weights.len(), 3);
+    }
+
+    #[test]
+    fn characterization_is_deterministic() {
+        let s = sampler();
+        let llms = vec![llama2_7b()];
+        let profiles = vec![GpuProfile::new(a100_40(), 1)];
+        let a = characterize(&llms, &profiles, &s, &quick_config());
+        let b = characterize(&llms, &profiles, &s, &quick_config());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn overhead_estimate_matches_paper_magnitude() {
+        // The paper estimates ~8h for 10 LLMs (30 min tuning + ~20 min load
+        // testing per LLM, parallelized over GPUs).
+        let hours = estimate_real_overhead_hours(10, 8, 120.0, 30.0);
+        assert!(hours > 6.0 && hours < 11.0, "hours = {hours}");
+    }
+
+    #[test]
+    fn cell_seeds_differ_by_identity() {
+        let a = cell_seed(1, "m", "p", 1);
+        let b = cell_seed(1, "m", "p", 2);
+        let c = cell_seed(1, "m", "q", 1);
+        let d = cell_seed(2, "m", "p", 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types of the core crate.
+
+use std::fmt;
+
+use llmpilot_ml::MlError;
+use llmpilot_sim::error::SimError;
+use llmpilot_workload::WorkloadError;
+
+/// Errors of the characterization and recommendation pipelines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Simulator-level failure.
+    Sim(SimError),
+    /// ML-substrate failure.
+    Ml(MlError),
+    /// Workload-model failure.
+    Workload(WorkloadError),
+    /// Malformed serialized data.
+    Parse(String),
+    /// Not enough data to train or evaluate.
+    InsufficientData(String),
+    /// No GPU profile can satisfy the requirements.
+    NoFeasibleRecommendation,
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Sim(e) => write!(f, "simulator error: {e}"),
+            CoreError::Ml(e) => write!(f, "ML error: {e}"),
+            CoreError::Workload(e) => write!(f, "workload error: {e}"),
+            CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::NoFeasibleRecommendation => {
+                write!(f, "no GPU profile satisfies the performance requirements")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<SimError> for CoreError {
+    fn from(e: SimError) -> Self {
+        CoreError::Sim(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+impl From<WorkloadError> for CoreError {
+    fn from(e: WorkloadError) -> Self {
+        CoreError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: CoreError = SimError::TuningFailed { llm: "m".into(), profile: "p".into() }.into();
+        assert!(e.to_string().contains("simulator"));
+        let e: CoreError = MlError::NotFitted.into();
+        assert!(e.to_string().contains("ML"));
+        let e: CoreError = WorkloadError::EmptyTraces.into();
+        assert!(e.to_string().contains("workload"));
+        assert!(CoreError::NoFeasibleRecommendation.to_string().contains("profile"));
+    }
+}

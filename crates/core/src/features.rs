@@ -1,0 +1,226 @@
+//! Feature engineering for the performance model (Sec. IV-B-1).
+//!
+//! The regressor's input concatenates: features describing the LLM (model
+//! family, encoder-decoder vs decoder-only, parameter/layer/position/head
+//! counts, flash attention, vocabulary size, relative-attention parameters,
+//! training data type), features describing the GPU profile (GPU count,
+//! memory capacity and bandwidth, architecture, Tensor/RT/CUDA core counts,
+//! texture units, ROPs, SMs, TFLOPS, compute capability, interface
+//! generation, form factor, NVLink), and the number of concurrent users.
+
+//! Beyond the paper's list, LLM-Pilot's own feature engineering adds three
+//! *derived* features — the weight footprint, the KV-cache bytes per token,
+//! and the per-pod batch token budget — all computed from the spec sheets
+//! alone (no measurement of the unseen LLM), sharpening the regressor's
+//! picture of where each profile's memory-capacity knee sits. The baseline
+//! methods keep the raw feature list of their original papers
+//! (`include_derived = false`).
+
+use llmpilot_sim::gpu::{FormFactor, GpuProfile};
+use llmpilot_sim::llm::{DType, LlmArch, LlmSpec};
+use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
+
+/// Known model families, one-hot encoded ("LLM type" in the paper).
+pub const LLM_FAMILIES: &[&str] =
+    &["t5", "mt5", "mpt", "codegen2", "llama", "gpt_neox", "gpt_bigcode"];
+
+/// Feature names, aligned with [`featurize`]'s output. `include_derived`
+/// appends LLM-Pilot's derived features (baselines use the raw list).
+pub fn feature_names(include_derived: bool) -> Vec<String> {
+    let mut names: Vec<String> =
+        LLM_FAMILIES.iter().map(|f| format!("llm_family_{f}")).collect();
+    names.extend(
+        [
+            "llm_encoder_decoder",
+            "llm_num_parameters_b",
+            "llm_num_layers",
+            "llm_num_positions",
+            "llm_num_heads",
+            "llm_num_kv_heads",
+            "llm_hidden_size",
+            "llm_flash_attention",
+            "llm_vocab_size_k",
+            "llm_rel_attn_max_distance",
+            "llm_rel_attn_num_buckets",
+            "llm_dtype_bytes",
+            "gpu_count",
+            "gpu_memory_gib",
+            "gpu_bandwidth_gbps",
+            "gpu_arch",
+            "gpu_tensor_cores",
+            "gpu_rt_cores",
+            "gpu_cuda_cores",
+            "gpu_texture_units",
+            "gpu_rops",
+            "gpu_sm_count",
+            "gpu_fp16_tflops",
+            "gpu_fp32_tflops",
+            "gpu_compute_capability",
+            "gpu_pcie_gen",
+            "gpu_form_factor_sxm",
+            "gpu_nvlink",
+        ]
+        .iter()
+        .map(|s| s.to_string()),
+    );
+    if include_derived {
+        names.extend(
+            ["derived_weight_gib", "derived_kv_kib_per_token", "derived_batch_token_budget_k"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+    }
+    names.push("concurrent_users".to_string());
+    names
+}
+
+/// Index of the `concurrent_users` feature — the column the paper's
+/// monotonicity constraint applies to (Sec. IV-B-2).
+pub fn users_feature_index(include_derived: bool) -> usize {
+    feature_names(include_derived).len() - 1
+}
+
+/// Build the feature vector for `(LLM, GPU profile, #users)`.
+pub fn featurize(
+    llm: &LlmSpec,
+    profile: &GpuProfile,
+    users: u32,
+    include_derived: bool,
+) -> Vec<f64> {
+    let mut out = Vec::with_capacity(feature_names(include_derived).len());
+    for family in LLM_FAMILIES {
+        out.push(f64::from(u8::from(llm.family == *family)));
+    }
+    out.push(f64::from(u8::from(llm.arch == LlmArch::EncoderDecoder)));
+    out.push(llm.num_parameters / 1e9);
+    out.push(f64::from(llm.num_layers));
+    out.push(f64::from(llm.num_positions));
+    out.push(f64::from(llm.num_heads));
+    out.push(f64::from(llm.num_kv_heads));
+    out.push(f64::from(llm.hidden_size));
+    out.push(f64::from(u8::from(llm.uses_flash_attention)));
+    out.push(f64::from(llm.vocab_size) / 1e3);
+    out.push(f64::from(llm.relative_attention_max_distance));
+    out.push(f64::from(llm.relative_attention_num_buckets));
+    out.push(match llm.dtype {
+        DType::Fp16 | DType::Bf16 => 2.0,
+        DType::Fp32 => 4.0,
+    });
+
+    let gpu = &profile.gpu;
+    out.push(f64::from(profile.count));
+    out.push(gpu.memory_gib);
+    out.push(gpu.memory_bandwidth_gbps);
+    out.push(f64::from(gpu.arch.code()));
+    out.push(f64::from(gpu.tensor_cores));
+    out.push(f64::from(gpu.rt_cores));
+    out.push(f64::from(gpu.cuda_cores));
+    out.push(f64::from(gpu.texture_units));
+    out.push(f64::from(gpu.rops));
+    out.push(f64::from(gpu.sm_count));
+    out.push(gpu.fp16_tflops);
+    out.push(gpu.fp32_tflops);
+    out.push(gpu.compute_capability);
+    out.push(f64::from(gpu.pcie_gen));
+    out.push(f64::from(u8::from(gpu.form_factor == FormFactor::Sxm)));
+    out.push(f64::from(u8::from(gpu.nvlink)));
+
+    if include_derived {
+        // Derived, measurement-free features (see module docs).
+        let mem_model = MemoryModel::new(llm.clone(), profile.clone(), MemoryConfig::default());
+        out.push(llm.weight_bytes() / (1024.0 * 1024.0 * 1024.0));
+        out.push(llm.kv_bytes_per_token() / 1024.0);
+        out.push(
+            (mem_model.batch_budget_bytes() / llm.kv_bytes_per_token()).max(0.0) / 1000.0,
+        );
+    }
+
+    out.push(f64::from(users));
+    out
+}
+
+/// Monotone-constraint vector for the feature layout: `+1` on the
+/// concurrent-users column, `0` elsewhere.
+pub fn monotone_constraints(include_derived: bool) -> Vec<i8> {
+    let mut v = vec![0i8; feature_names(include_derived).len()];
+    v[users_feature_index(include_derived)] = 1;
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_sim::gpu::{a100_40, t4, GpuProfile};
+    use llmpilot_sim::llm::{flan_t5_xxl, llm_catalog, starcoder};
+
+    #[test]
+    fn feature_vector_matches_names() {
+        for derived in [false, true] {
+            let v = featurize(&starcoder(), &GpuProfile::new(a100_40(), 2), 16, derived);
+            assert_eq!(v.len(), feature_names(derived).len());
+            assert!(v.iter().all(|x| x.is_finite()));
+        }
+        assert_eq!(feature_names(true).len(), feature_names(false).len() + 3);
+    }
+
+    #[test]
+    fn every_catalog_family_is_known() {
+        for llm in llm_catalog() {
+            assert!(
+                LLM_FAMILIES.contains(&llm.family),
+                "family {} missing from one-hot",
+                llm.family
+            );
+            // Exactly one family flag set.
+            let v = featurize(&llm, &GpuProfile::new(t4(), 1), 1, true);
+            let flags: f64 = v[..LLM_FAMILIES.len()].iter().sum();
+            assert_eq!(flags, 1.0);
+        }
+    }
+
+    #[test]
+    fn users_is_the_last_feature() {
+        for derived in [false, true] {
+            let idx = users_feature_index(derived);
+            let v = featurize(&flan_t5_xxl(), &GpuProfile::new(t4(), 1), 42, derived);
+            assert_eq!(v[idx], 42.0);
+            assert_eq!(feature_names(derived)[idx], "concurrent_users");
+        }
+    }
+
+    #[test]
+    fn monotone_vector_constrains_only_users() {
+        for derived in [false, true] {
+            let m = monotone_constraints(derived);
+            assert_eq!(m.iter().filter(|&&c| c != 0).count(), 1);
+            assert_eq!(m[users_feature_index(derived)], 1);
+        }
+    }
+
+    #[test]
+    fn enc_dec_flag_distinguishes_architectures() {
+        let p = GpuProfile::new(t4(), 1);
+        let t5 = featurize(&flan_t5_xxl(), &p, 1, false);
+        let sc = featurize(&starcoder(), &p, 1, false);
+        let flag = LLM_FAMILIES.len();
+        assert_eq!(t5[flag], 1.0);
+        assert_eq!(sc[flag], 0.0);
+    }
+
+    #[test]
+    fn gpu_features_differ_across_profiles() {
+        let llm = starcoder();
+        let a = featurize(&llm, &GpuProfile::new(a100_40(), 1), 1, true);
+        let b = featurize(&llm, &GpuProfile::new(t4(), 1), 1, true);
+        assert_ne!(a, b);
+        let c = featurize(&llm, &GpuProfile::new(a100_40(), 4), 1, true);
+        // Only gpu_count and the derived batch-token budget differ between
+        // a 1-GPU and a 4-GPU profile of the same type.
+        let names = feature_names(true);
+        let diff: Vec<String> = (0..a.len())
+            .filter(|&i| (a[i] - c[i]).abs() > 1e-12)
+            .map(|i| names[i].clone())
+            .collect();
+        assert_eq!(diff, vec!["gpu_count", "derived_batch_token_budget_k"]);
+    }
+}

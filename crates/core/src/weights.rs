@@ -1,0 +1,137 @@
+//! Constraint-proximity sample weights (Eq. (4) of the paper).
+//!
+//! The regressor's purpose is to estimate the maximum number of users a
+//! pod can serve under the latency constraints, so it must be most accurate
+//! for the data points whose latencies sit *near* the constraints. Each
+//! training point gets weight `1 − |l − L| / max_v |l(v) − L|`, where the
+//! maximum runs over the user counts of the same `(LLM, GPU profile)` cell;
+//! the nTTFT-based and ITL-based weights are combined by arithmetic mean.
+
+use std::collections::HashMap;
+
+use crate::dataset::PerfRow;
+use crate::recommend::LatencyConstraints;
+
+/// Compute the combined Eq.-(4) weights for a set of rows. Rows are grouped
+/// by `(llm, profile)` for the per-cell normalization. A degenerate cell
+/// whose latencies all sit exactly at the constraint gets weight 1.
+pub fn constraint_proximity_weights(
+    rows: &[&PerfRow],
+    constraints: &LatencyConstraints,
+) -> Vec<f64> {
+    // Per-cell maxima of |l − L|.
+    let mut max_d1: HashMap<(&str, &str), f64> = HashMap::new();
+    let mut max_d2: HashMap<(&str, &str), f64> = HashMap::new();
+    for r in rows {
+        let key = (r.llm.as_str(), r.profile.as_str());
+        let d1 = (r.nttft_s - constraints.nttft_s).abs();
+        let d2 = (r.itl_s - constraints.itl_s).abs();
+        let e1 = max_d1.entry(key).or_insert(0.0);
+        *e1 = e1.max(d1);
+        let e2 = max_d2.entry(key).or_insert(0.0);
+        *e2 = e2.max(d2);
+    }
+    rows.iter()
+        .map(|r| {
+            let key = (r.llm.as_str(), r.profile.as_str());
+            let w1 = weight_term((r.nttft_s - constraints.nttft_s).abs(), max_d1[&key]);
+            let w2 = weight_term((r.itl_s - constraints.itl_s).abs(), max_d2[&key]);
+            0.5 * (w1 + w2)
+        })
+        .collect()
+}
+
+fn weight_term(distance: f64, max_distance: f64) -> f64 {
+    if max_distance <= 0.0 {
+        1.0
+    } else {
+        1.0 - distance / max_distance
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(llm: &str, profile: &str, users: u32, nttft: f64, itl: f64) -> PerfRow {
+        PerfRow {
+            llm: llm.into(),
+            profile: profile.into(),
+            users,
+            ttft_s: nttft * 100.0,
+            nttft_s: nttft,
+            itl_s: itl,
+            throughput: 1.0,
+        }
+    }
+
+    const L: LatencyConstraints = LatencyConstraints { nttft_s: 0.1, itl_s: 0.05 };
+
+    #[test]
+    fn rows_at_the_constraint_get_weight_one() {
+        let rows = vec![
+            row("m", "p", 1, 0.1, 0.05), // exactly at both constraints
+            row("m", "p", 2, 0.5, 0.25), // far from both
+        ];
+        let refs: Vec<&PerfRow> = rows.iter().collect();
+        let w = constraint_proximity_weights(&refs, &L);
+        assert!((w[0] - 1.0).abs() < 1e-12);
+        assert!((w[1] - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weights_decrease_with_distance() {
+        let rows = vec![
+            row("m", "p", 1, 0.09, 0.049),
+            row("m", "p", 2, 0.2, 0.1),
+            row("m", "p", 4, 0.8, 0.4),
+        ];
+        let refs: Vec<&PerfRow> = rows.iter().collect();
+        let w = constraint_proximity_weights(&refs, &L);
+        assert!(w[0] > w[1]);
+        assert!(w[1] > w[2]);
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+
+    #[test]
+    fn normalization_is_per_cell() {
+        // Two cells with very different latency scales: the nearest point of
+        // each cell must get the cell's top weight.
+        let rows = vec![
+            row("m", "p", 1, 0.11, 0.05),
+            row("m", "p", 2, 1.0, 0.5),
+            row("m", "q", 1, 0.5, 0.2),
+            row("m", "q", 2, 50.0, 20.0),
+        ];
+        let refs: Vec<&PerfRow> = rows.iter().collect();
+        let w = constraint_proximity_weights(&refs, &L);
+        assert!(w[0] > 0.9);
+        assert!(w[2] > 0.9, "near point of the slow cell: {}", w[2]);
+        assert!(w[1] < 0.2);
+        assert!(w[3] < 0.2);
+    }
+
+    #[test]
+    fn degenerate_cell_gets_weight_one() {
+        let rows = vec![row("m", "p", 1, 0.1, 0.05), row("m", "p", 2, 0.1, 0.05)];
+        let refs: Vec<&PerfRow> = rows.iter().collect();
+        let w = constraint_proximity_weights(&refs, &L);
+        assert_eq!(w, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn combined_weight_is_mean_of_both_terms() {
+        // First row: at the nTTFT constraint but far on ITL; second the
+        // reverse; third far on both.
+        let rows = vec![
+            row("m", "p", 1, 0.1, 0.5),
+            row("m", "p", 2, 1.0, 0.05),
+            row("m", "p", 4, 1.0, 0.5),
+        ];
+        let refs: Vec<&PerfRow> = rows.iter().collect();
+        let w = constraint_proximity_weights(&refs, &L);
+        assert!((w[0] - 0.5).abs() < 1e-12);
+        assert!((w[1] - 0.5).abs() < 1e-12);
+        assert!(w[2] < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Dense feature matrices with targets and optional per-sample weights.
+
+use crate::error::MlError;
+
+/// A regression dataset: row-major feature matrix, target vector and
+/// optional per-sample weights (used by LLM-Pilot's constraint-proximity
+/// weighting, Eq. (4) of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    features: Vec<f64>,
+    n_rows: usize,
+    n_cols: usize,
+    targets: Vec<f64>,
+    weights: Option<Vec<f64>>,
+    feature_names: Vec<String>,
+}
+
+impl Dataset {
+    /// Build a dataset from a row-major feature buffer.
+    pub fn new(
+        features: Vec<f64>,
+        n_cols: usize,
+        targets: Vec<f64>,
+    ) -> Result<Self, MlError> {
+        if n_cols == 0 {
+            return Err(MlError::Shape("dataset needs at least one feature".into()));
+        }
+        if features.len() % n_cols != 0 {
+            return Err(MlError::Shape(format!(
+                "feature buffer of {} values is not a multiple of {} columns",
+                features.len(),
+                n_cols
+            )));
+        }
+        let n_rows = features.len() / n_cols;
+        if targets.len() != n_rows {
+            return Err(MlError::Shape(format!(
+                "{} targets for {} rows",
+                targets.len(),
+                n_rows
+            )));
+        }
+        if features.iter().any(|v| !v.is_finite()) || targets.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::Shape("features and targets must be finite".into()));
+        }
+        let feature_names = (0..n_cols).map(|i| format!("f{i}")).collect();
+        Ok(Self { features, n_rows, n_cols, targets, weights: None, feature_names })
+    }
+
+    /// Build from per-row feature vectors.
+    pub fn from_rows(rows: &[Vec<f64>], targets: Vec<f64>) -> Result<Self, MlError> {
+        if rows.is_empty() {
+            return Err(MlError::Shape("dataset needs at least one row".into()));
+        }
+        let n_cols = rows[0].len();
+        if rows.iter().any(|r| r.len() != n_cols) {
+            return Err(MlError::Shape("ragged rows".into()));
+        }
+        let features = rows.iter().flatten().copied().collect();
+        Self::new(features, n_cols, targets)
+    }
+
+    /// Attach per-sample weights (must be non-negative, same length as rows).
+    pub fn with_weights(mut self, weights: Vec<f64>) -> Result<Self, MlError> {
+        if weights.len() != self.n_rows {
+            return Err(MlError::Shape(format!(
+                "{} weights for {} rows",
+                weights.len(),
+                self.n_rows
+            )));
+        }
+        if weights.iter().any(|&w| !w.is_finite() || w < 0.0) {
+            return Err(MlError::Shape("weights must be finite and non-negative".into()));
+        }
+        self.weights = Some(weights);
+        Ok(self)
+    }
+
+    /// Attach human-readable feature names.
+    pub fn with_feature_names(mut self, names: Vec<String>) -> Result<Self, MlError> {
+        if names.len() != self.n_cols {
+            return Err(MlError::Shape(format!(
+                "{} names for {} columns",
+                names.len(),
+                self.n_cols
+            )));
+        }
+        self.feature_names = names;
+        Ok(self)
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Number of feature columns.
+    pub fn n_cols(&self) -> usize {
+        self.n_cols
+    }
+
+    /// A row's feature slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.features[i * self.n_cols..(i + 1) * self.n_cols]
+    }
+
+    /// Feature value at `(row, col)`.
+    pub fn value(&self, row: usize, col: usize) -> f64 {
+        self.features[row * self.n_cols + col]
+    }
+
+    /// Target vector.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Per-sample weight (1.0 when unweighted).
+    pub fn weight(&self, i: usize) -> f64 {
+        self.weights.as_ref().map_or(1.0, |w| w[i])
+    }
+
+    /// Whether explicit weights are attached.
+    pub fn has_weights(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Per-sample weights as a dense vector.
+    pub fn weights_vec(&self) -> Vec<f64> {
+        (0..self.n_rows).map(|i| self.weight(i)).collect()
+    }
+
+    /// Feature names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Subset of rows by index (indices may repeat — used for bootstrap).
+    pub fn subset(&self, indices: &[usize]) -> Dataset {
+        let mut features = Vec::with_capacity(indices.len() * self.n_cols);
+        let mut targets = Vec::with_capacity(indices.len());
+        for &i in indices {
+            features.extend_from_slice(self.row(i));
+            targets.push(self.targets[i]);
+        }
+        let weights = self
+            .weights
+            .as_ref()
+            .map(|w| indices.iter().map(|&i| w[i]).collect::<Vec<f64>>());
+        Dataset {
+            features,
+            n_rows: indices.len(),
+            n_cols: self.n_cols,
+            targets,
+            weights,
+            feature_names: self.feature_names.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> Dataset {
+        Dataset::from_rows(
+            &[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]],
+            vec![10.0, 20.0, 30.0],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn shape_accessors() {
+        let d = ds();
+        assert_eq!(d.n_rows(), 3);
+        assert_eq!(d.n_cols(), 2);
+        assert_eq!(d.row(1), &[3.0, 4.0]);
+        assert_eq!(d.value(2, 1), 6.0);
+        assert_eq!(d.targets(), &[10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn default_weights_are_one() {
+        let d = ds();
+        assert!(!d.has_weights());
+        assert_eq!(d.weight(0), 1.0);
+        assert_eq!(d.weights_vec(), vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn explicit_weights() {
+        let d = ds().with_weights(vec![0.5, 1.0, 2.0]).unwrap();
+        assert!(d.has_weights());
+        assert_eq!(d.weight(2), 2.0);
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(Dataset::new(vec![1.0, 2.0, 3.0], 2, vec![1.0]).is_err());
+        assert!(Dataset::new(vec![1.0, 2.0], 2, vec![1.0, 2.0]).is_err());
+        assert!(Dataset::new(vec![f64::NAN, 2.0], 2, vec![1.0]).is_err());
+        assert!(ds().with_weights(vec![1.0]).is_err());
+        assert!(ds().with_weights(vec![-1.0, 1.0, 1.0]).is_err());
+        assert!(Dataset::from_rows(&[vec![1.0], vec![1.0, 2.0]], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn subset_with_repeats() {
+        let d = ds().with_weights(vec![0.1, 0.2, 0.3]).unwrap();
+        let s = d.subset(&[2, 0, 2]);
+        assert_eq!(s.n_rows(), 3);
+        assert_eq!(s.row(0), &[5.0, 6.0]);
+        assert_eq!(s.targets(), &[30.0, 10.0, 30.0]);
+        assert_eq!(s.weight(2), 0.3);
+    }
+
+    #[test]
+    fn feature_names_roundtrip() {
+        let d = ds().with_feature_names(vec!["a".into(), "b".into()]).unwrap();
+        assert_eq!(d.feature_names(), &["a".to_string(), "b".to_string()]);
+        assert!(ds().with_feature_names(vec!["a".into()]).is_err());
+    }
+}

@@ -1,0 +1,38 @@
+//! Error types of the ML substrate.
+
+use std::fmt;
+
+/// Errors produced by the ML substrate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MlError {
+    /// Inconsistent or invalid data shapes.
+    Shape(String),
+    /// A model was asked to predict before being fitted.
+    NotFitted,
+    /// Invalid hyperparameter configuration.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::Shape(msg) => write!(f, "shape error: {msg}"),
+            MlError::NotFitted => write!(f, "model has not been fitted"),
+            MlError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert!(MlError::Shape("x".into()).to_string().contains("x"));
+        assert!(MlError::NotFitted.to_string().contains("fitted"));
+        assert!(MlError::InvalidConfig("lr".into()).to_string().contains("lr"));
+    }
+}

@@ -1,0 +1,705 @@
+//! Gradient-boosted regression trees with the histogram tree method,
+//! per-sample weights and per-feature monotonicity constraints — the
+//! from-scratch stand-in for the XGBoost regressor inside LLM-Pilot's GPU
+//! recommendation tool (Sec. IV-B-2).
+//!
+//! Squared-error boosting: each round fits a histogram tree to the current
+//! residuals with gradient statistics `g = w·(pred − y)`, `h = w`, leaf
+//! values `−G/(H+λ)`, shrunk by the learning rate. Monotone constraints use
+//! XGBoost's mechanism: a split on a constrained feature is *rejected* when
+//! the children's values would violate the required order, and children
+//! inherit value bounds (`[lower, mid]` / `[mid, upper]`) so deeper splits
+//! cannot re-introduce a violation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+use crate::histogram::FeatureBins;
+
+/// Hyperparameters of the GBDT (the set the paper tunes in Sec. IV-B-3:
+/// number of boosted trees, maximum depth, learning rate, subsampling
+/// rates, tree method and histogram bin count).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbdtParams {
+    /// Number of boosting rounds.
+    pub n_trees: usize,
+    /// Maximum depth of each tree.
+    pub max_depth: usize,
+    /// Shrinkage applied to each tree's contribution.
+    pub learning_rate: f64,
+    /// Row subsampling rate per tree, in `(0, 1]`.
+    pub subsample: f64,
+    /// Column subsampling rate per tree, in `(0, 1]`.
+    pub colsample: f64,
+    /// Minimum hessian (total sample weight) per child.
+    pub min_child_weight: f64,
+    /// L2 regularization on leaf values.
+    pub lambda: f64,
+    /// Histogram bin budget per feature.
+    pub max_bins: usize,
+    /// Per-feature monotone constraints: `+1` increasing, `-1` decreasing,
+    /// `0` unconstrained. Empty = no constraints.
+    pub monotone_constraints: Vec<i8>,
+    /// Early stopping: fraction of rows held out as a validation set
+    /// (0 disables). Boosting stops once the validation RMSE has not
+    /// improved for [`Self::early_stopping_rounds`] rounds.
+    pub validation_fraction: f64,
+    /// Patience of early stopping (ignored when `validation_fraction` is 0).
+    pub early_stopping_rounds: usize,
+    /// RNG seed for subsampling.
+    pub seed: u64,
+}
+
+impl Default for GbdtParams {
+    fn default() -> Self {
+        Self {
+            n_trees: 200,
+            max_depth: 6,
+            learning_rate: 0.1,
+            subsample: 1.0,
+            colsample: 1.0,
+            min_child_weight: 1.0,
+            lambda: 1.0,
+            max_bins: 64,
+            monotone_constraints: Vec::new(),
+            validation_fraction: 0.0,
+            early_stopping_rounds: 10,
+            seed: 4,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+}
+
+#[derive(Debug, Clone)]
+struct HistTree {
+    nodes: Vec<Node>,
+}
+
+impl HistTree {
+    fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Gradient/hessian sums.
+#[derive(Debug, Clone, Copy, Default)]
+struct GradPair {
+    g: f64,
+    h: f64,
+}
+
+impl GradPair {
+    fn add(&mut self, g: f64, h: f64) {
+        self.g += g;
+        self.h += h;
+    }
+
+    fn value(&self, lambda: f64) -> f64 {
+        -self.g / (self.h + lambda)
+    }
+
+    fn score(&self, lambda: f64) -> f64 {
+        self.g * self.g / (self.h + lambda)
+    }
+}
+
+/// A fitted gradient-boosted tree ensemble.
+#[derive(Debug, Clone)]
+pub struct Gbdt {
+    base_score: f64,
+    trees: Vec<HistTree>,
+    learning_rate: f64,
+    importance: Vec<f64>,
+}
+
+struct TreeBuilder<'a> {
+    bins: &'a FeatureBins,
+    binned: &'a [u16],
+    n_cols: usize,
+    grad: &'a [f64],
+    hess: &'a [f64],
+    params: &'a GbdtParams,
+    features: Vec<usize>,
+    nodes: Vec<Node>,
+    /// Per-feature accumulated split gain (XGBoost's `gain` importance).
+    gain: &'a mut [f64],
+}
+
+impl TreeBuilder<'_> {
+    /// Build a node over `rows`; `bound` is the admissible value interval
+    /// inherited from monotone splits above.
+    fn build(&mut self, rows: Vec<u32>, depth: usize, bound: (f64, f64)) -> u32 {
+        let mut total = GradPair::default();
+        for &r in &rows {
+            total.add(self.grad[r as usize], self.hess[r as usize]);
+        }
+        let clamp = |v: f64| v.clamp(bound.0, bound.1);
+        let node_id = self.nodes.len() as u32;
+
+        if depth >= self.params.max_depth || total.h < 2.0 * self.params.min_child_weight {
+            self.nodes.push(Node::Leaf { value: clamp(total.value(self.params.lambda)) });
+            return node_id;
+        }
+
+        let Some(split) = self.best_split(&rows, &total, bound) else {
+            self.nodes.push(Node::Leaf { value: clamp(total.value(self.params.lambda)) });
+            return node_id;
+        };
+        let (feature, bin, left_value, right_value, gain) = split;
+        self.gain[feature] += gain;
+        let threshold = self.bins.threshold_after(feature, bin);
+
+        // Child bounds under a monotone constraint (XGBoost's mid-point
+        // propagation).
+        let constraint = self
+            .params
+            .monotone_constraints
+            .get(feature)
+            .copied()
+            .unwrap_or(0);
+        let (left_bound, right_bound) = match constraint {
+            0 => (bound, bound),
+            _ => {
+                let mid = 0.5 * (left_value + right_value);
+                if constraint > 0 {
+                    ((bound.0, mid.min(bound.1)), (mid.max(bound.0), bound.1))
+                } else {
+                    ((mid.max(bound.0), bound.1), (bound.0, mid.min(bound.1)))
+                }
+            }
+        };
+
+        self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
+        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
+            .into_iter()
+            .partition(|&r| self.binned[r as usize * self.n_cols + feature] <= bin);
+        let left = self.build(left_rows, depth + 1, left_bound);
+        let right = self.build(right_rows, depth + 1, right_bound);
+        self.nodes[node_id as usize] =
+            Node::Split { feature: feature as u32, threshold, left, right };
+        node_id
+    }
+
+    /// Best `(feature, bin, left_value, right_value, gain)` by gain,
+    /// honoring monotone constraints; `None` when nothing beats the parent.
+    fn best_split(
+        &self,
+        rows: &[u32],
+        total: &GradPair,
+        bound: (f64, f64),
+    ) -> Option<(usize, u16, f64, f64, f64)> {
+        let lambda = self.params.lambda;
+        let parent_score = total.score(lambda);
+        let mut best_gain = 1e-9;
+        let mut best = None;
+
+        for &f in &self.features {
+            let nbins = self.bins.num_bins(f);
+            let mut hist = vec![GradPair::default(); nbins];
+            for &r in rows {
+                let b = usize::from(self.binned[r as usize * self.n_cols + f]);
+                hist[b].add(self.grad[r as usize], self.hess[r as usize]);
+            }
+            let constraint =
+                self.params.monotone_constraints.get(f).copied().unwrap_or(0);
+
+            let mut left = GradPair::default();
+            for b in 0..nbins - 1 {
+                left.add(hist[b].g, hist[b].h);
+                let right = GradPair { g: total.g - left.g, h: total.h - left.h };
+                if left.h < self.params.min_child_weight
+                    || right.h < self.params.min_child_weight
+                {
+                    continue;
+                }
+                let gain = left.score(lambda) + right.score(lambda) - parent_score;
+                if gain <= best_gain {
+                    continue;
+                }
+                // Candidate child values, clamped to this node's bounds —
+                // the values monotonicity is judged on.
+                let lv = left.value(lambda).clamp(bound.0, bound.1);
+                let rv = right.value(lambda).clamp(bound.0, bound.1);
+                if (constraint > 0 && lv > rv) || (constraint < 0 && lv < rv) {
+                    continue; // split would violate monotonicity: reject
+                }
+                best_gain = gain;
+                best = Some((f, b as u16, lv, rv, gain));
+            }
+        }
+        best
+    }
+}
+
+impl Gbdt {
+    /// Fit the ensemble to a (possibly weighted) dataset.
+    pub fn fit(ds: &Dataset, params: &GbdtParams) -> Result<Self, MlError> {
+        if ds.n_rows() == 0 {
+            return Err(MlError::Shape("cannot fit GBDT to zero rows".into()));
+        }
+        if params.n_trees == 0 {
+            return Err(MlError::InvalidConfig("n_trees must be >= 1".into()));
+        }
+        if !(0.0..=1.0).contains(&params.subsample) || params.subsample == 0.0 {
+            return Err(MlError::InvalidConfig("subsample must be in (0, 1]".into()));
+        }
+        if !(0.0..=1.0).contains(&params.colsample) || params.colsample == 0.0 {
+            return Err(MlError::InvalidConfig("colsample must be in (0, 1]".into()));
+        }
+        if !params.monotone_constraints.is_empty()
+            && params.monotone_constraints.len() != ds.n_cols()
+        {
+            return Err(MlError::InvalidConfig(format!(
+                "{} monotone constraints for {} features",
+                params.monotone_constraints.len(),
+                ds.n_cols()
+            )));
+        }
+        if !(0.0..1.0).contains(&params.validation_fraction) {
+            return Err(MlError::InvalidConfig(
+                "validation_fraction must be in [0, 1)".into(),
+            ));
+        }
+
+        let bins = FeatureBins::fit(ds, params.max_bins);
+        let binned = bins.bin_matrix(ds);
+        let n = ds.n_rows();
+        let weights = ds.weights_vec();
+
+        // Weighted-mean base score.
+        let wsum: f64 = weights.iter().sum();
+        let base_score = if wsum > 0.0 {
+            ds.targets().iter().zip(&weights).map(|(y, w)| y * w).sum::<f64>() / wsum
+        } else {
+            0.0
+        };
+
+        let mut pred = vec![base_score; n];
+        let mut trees = Vec::with_capacity(params.n_trees);
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let mut grad = vec![0.0; n];
+        let mut hess = vec![0.0; n];
+        let mut gain = vec![0.0f64; ds.n_cols()];
+
+        // Optional validation hold-out for early stopping.
+        let validation: Vec<usize> = if params.validation_fraction > 0.0 {
+            let k = ((n as f64 * params.validation_fraction).round() as usize).clamp(1, n - 1);
+            sample_without_replacement(n, k, &mut rng)
+        } else {
+            Vec::new()
+        };
+        let is_validation = {
+            let mut mask = vec![false; n];
+            for &i in &validation {
+                mask[i] = true;
+            }
+            mask
+        };
+        let mut best_val_rmse = f64::INFINITY;
+        let mut rounds_without_improvement = 0usize;
+
+        for _ in 0..params.n_trees {
+            for i in 0..n {
+                // Squared loss: g = w (pred − y), h = w. Validation rows
+                // carry zero hessian so they never influence the fit.
+                let w = if is_validation[i] { 0.0 } else { weights[i] };
+                grad[i] = w * (pred[i] - ds.targets()[i]);
+                hess[i] = w;
+            }
+
+            let rows: Vec<u32> = if params.subsample < 1.0 {
+                (0..n as u32)
+                    .filter(|&i| {
+                        !is_validation[i as usize] && rng.random::<f64>() < params.subsample
+                    })
+                    .collect()
+            } else {
+                (0..n as u32).filter(|&i| !is_validation[i as usize]).collect()
+            };
+            if rows.is_empty() {
+                continue;
+            }
+            let features: Vec<usize> = if params.colsample < 1.0 {
+                let k = ((ds.n_cols() as f64 * params.colsample).ceil() as usize)
+                    .clamp(1, ds.n_cols());
+                sample_without_replacement(ds.n_cols(), k, &mut rng)
+            } else {
+                (0..ds.n_cols()).collect()
+            };
+
+            let mut builder = TreeBuilder {
+                bins: &bins,
+                binned: &binned,
+                n_cols: ds.n_cols(),
+                grad: &grad,
+                hess: &hess,
+                params,
+                features,
+                nodes: Vec::new(),
+                gain: &mut gain,
+            };
+            builder.build(rows, 0, (f64::NEG_INFINITY, f64::INFINITY));
+            let tree = HistTree { nodes: builder.nodes };
+
+            for i in 0..n {
+                pred[i] += params.learning_rate * tree.predict_row(ds.row(i));
+            }
+            trees.push(tree);
+
+            if !validation.is_empty() {
+                let mse: f64 = validation
+                    .iter()
+                    .map(|&i| (pred[i] - ds.targets()[i]).powi(2))
+                    .sum::<f64>()
+                    / validation.len() as f64;
+                let rmse = mse.sqrt();
+                if rmse + 1e-12 < best_val_rmse {
+                    best_val_rmse = rmse;
+                    rounds_without_improvement = 0;
+                } else {
+                    rounds_without_improvement += 1;
+                    if rounds_without_improvement >= params.early_stopping_rounds {
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Normalize the gain importances.
+        let total: f64 = gain.iter().sum();
+        if total > 0.0 {
+            for v in &mut gain {
+                *v /= total;
+            }
+        }
+        Ok(Self { base_score, trees, learning_rate: params.learning_rate, importance: gain })
+    }
+
+    /// Normalized gain-based feature importances (sum to 1 when any split
+    /// was made) — XGBoost's `gain` importance type.
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Predict one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        self.base_score
+            + self.learning_rate
+                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+    }
+
+    /// Predict every row of a dataset.
+    pub fn predict(&self, ds: &Dataset) -> Vec<f64> {
+        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+    }
+
+    /// Number of boosted trees actually fitted.
+    pub fn num_trees(&self) -> usize {
+        self.trees.len()
+    }
+}
+
+/// `k` distinct indices out of `0..n` (partial Fisher–Yates).
+fn sample_without_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{r2, rmse};
+
+    fn make_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| (r[0] * 1.3).sin() * 2.0 + r[1] * r[1] * 0.4 + 1.0).collect();
+        (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
+    }
+
+    #[test]
+    fn fits_nonlinear_function() {
+        let (ds, targets) = make_data(1500, 1);
+        let model = Gbdt::fit(&ds, &GbdtParams::default()).unwrap();
+        let pred = model.predict(&ds);
+        assert!(r2(&targets, &pred) > 0.98, "r2 = {}", r2(&targets, &pred));
+    }
+
+    #[test]
+    fn generalizes_out_of_sample() {
+        let (train, _) = make_data(2000, 2);
+        let (test, test_y) = make_data(500, 3);
+        let model = Gbdt::fit(&train, &GbdtParams::default()).unwrap();
+        let pred = model.predict(&test);
+        assert!(r2(&test_y, &pred) > 0.9, "r2 = {}", r2(&test_y, &pred));
+    }
+
+    #[test]
+    fn more_trees_reduce_training_error() {
+        let (ds, targets) = make_data(800, 4);
+        let few = Gbdt::fit(&ds, &GbdtParams { n_trees: 5, ..GbdtParams::default() }).unwrap();
+        let many = Gbdt::fit(&ds, &GbdtParams { n_trees: 150, ..GbdtParams::default() }).unwrap();
+        assert!(rmse(&targets, &many.predict(&ds)) < rmse(&targets, &few.predict(&ds)));
+    }
+
+    #[test]
+    fn monotone_increasing_constraint_is_enforced() {
+        // Noisy but increasing ground truth; the constrained model must be
+        // globally non-decreasing along the constrained feature.
+        let mut rng = StdRng::seed_from_u64(5);
+        let rows: Vec<Vec<f64>> = (0..1200).map(|i| vec![f64::from(i) / 100.0]).collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| r[0] * 2.0 + 3.0 * (rng.random::<f64>() - 0.5))
+            .collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap();
+        let params = GbdtParams {
+            monotone_constraints: vec![1],
+            n_trees: 120,
+            ..GbdtParams::default()
+        };
+        let model = Gbdt::fit(&ds, &params).unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=1200 {
+            let p = model.predict_row(&[f64::from(i) / 100.0]);
+            assert!(
+                p >= last - 1e-9,
+                "prediction decreased at x={}: {p} < {last}",
+                f64::from(i) / 100.0
+            );
+            last = p;
+        }
+    }
+
+    #[test]
+    fn monotone_decreasing_constraint_is_enforced() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let rows: Vec<Vec<f64>> = (0..800).map(|i| vec![f64::from(i) / 80.0]).collect();
+        let targets: Vec<f64> = rows
+            .iter()
+            .map(|r| -r[0] * 1.5 + 2.0 * (rng.random::<f64>() - 0.5))
+            .collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap();
+        let params = GbdtParams {
+            monotone_constraints: vec![-1],
+            n_trees: 80,
+            ..GbdtParams::default()
+        };
+        let model = Gbdt::fit(&ds, &params).unwrap();
+        let mut last = f64::INFINITY;
+        for i in 0..=800 {
+            let p = model.predict_row(&[f64::from(i) / 80.0]);
+            assert!(p <= last + 1e-9);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn unconstrained_features_remain_free_under_mixed_constraints() {
+        // Feature 0 constrained +1, feature 1 free with a non-monotone
+        // effect the model must still capture.
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows: Vec<Vec<f64>> = (0..1500)
+            .map(|_| vec![rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0])
+            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| r[0] + (r[1] * 2.0).sin() * 2.0).collect();
+        let ds = Dataset::from_rows(&rows, targets.clone()).unwrap();
+        let params = GbdtParams {
+            monotone_constraints: vec![1, 0],
+            ..GbdtParams::default()
+        };
+        let model = Gbdt::fit(&ds, &params).unwrap();
+        assert!(r2(&targets, &model.predict(&ds)) > 0.9);
+        // Monotone in feature 0 for a fixed feature 1.
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=100 {
+            let p = model.predict_row(&[f64::from(i) / 20.0, 2.5]);
+            assert!(p >= last - 1e-9);
+            last = p;
+        }
+    }
+
+    #[test]
+    fn sample_weights_prioritize_heavy_samples() {
+        // Two clusters with conflicting targets at the same x; the heavily
+        // weighted cluster must dominate the prediction.
+        let rows: Vec<Vec<f64>> = (0..200).map(|_| vec![1.0]).collect();
+        let targets: Vec<f64> = (0..200).map(|i| if i < 100 { 0.0 } else { 10.0 }).collect();
+        let weights: Vec<f64> = (0..200).map(|i| if i < 100 { 10.0 } else { 0.1 }).collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap().with_weights(weights).unwrap();
+        let model = Gbdt::fit(&ds, &GbdtParams::default()).unwrap();
+        let p = model.predict_row(&[1.0]);
+        assert!(p < 1.0, "weighted prediction {p} should be pulled to 0");
+    }
+
+    #[test]
+    fn subsampling_still_fits() {
+        let (ds, targets) = make_data(1000, 8);
+        let params = GbdtParams { subsample: 0.7, colsample: 0.5, ..GbdtParams::default() };
+        let model = Gbdt::fit(&ds, &params).unwrap();
+        assert!(r2(&targets, &model.predict(&ds)) > 0.9);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (ds, _) = make_data(50, 9);
+        assert!(Gbdt::fit(&ds, &GbdtParams { n_trees: 0, ..GbdtParams::default() }).is_err());
+        assert!(Gbdt::fit(&ds, &GbdtParams { subsample: 0.0, ..GbdtParams::default() }).is_err());
+        assert!(Gbdt::fit(&ds, &GbdtParams { colsample: 1.5, ..GbdtParams::default() }).is_err());
+        assert!(Gbdt::fit(
+            &ds,
+            &GbdtParams { monotone_constraints: vec![1], ..GbdtParams::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (ds, _) = make_data(300, 10);
+        let p = GbdtParams { subsample: 0.8, ..GbdtParams::default() };
+        let a = Gbdt::fit(&ds, &p).unwrap();
+        let b = Gbdt::fit(&ds, &p).unwrap();
+        assert_eq!(a.predict_row(ds.row(0)), b.predict_row(ds.row(0)));
+    }
+
+    #[test]
+    fn constant_target_predicts_constant() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]], vec![7.0; 3]).unwrap();
+        let model = Gbdt::fit(&ds, &GbdtParams::default()).unwrap();
+        assert!((model.predict_row(&[2.0]) - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_without_replacement_is_distinct() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sample_without_replacement(10, 5, &mut rng);
+        assert_eq!(s.len(), 5);
+        let mut d = s.clone();
+        d.sort_unstable();
+        d.dedup();
+        assert_eq!(d.len(), 5);
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn make_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
+            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| (r[0] * 1.3).sin() * 2.0 + r[1] * r[1] * 0.4 + 1.0).collect();
+        (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
+    }
+
+    #[test]
+    fn gain_importance_is_normalized_and_ranks_signal() {
+        // Feature 1 is pure noise; feature 0 carries the whole signal.
+        let mut rng = StdRng::seed_from_u64(20);
+        let rows: Vec<Vec<f64>> = (0..800)
+            .map(|_| vec![rng.random::<f64>() * 10.0, rng.random::<f64>() * 10.0])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] * 3.0).collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap();
+        let model = Gbdt::fit(&ds, &GbdtParams::default()).unwrap();
+        let imp = model.feature_importance();
+        assert!((imp.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(imp[0] > 0.95, "importance = {imp:?}");
+    }
+
+    #[test]
+    fn early_stopping_truncates_the_ensemble() {
+        let (ds, _) = make_data(500, 21);
+        let full = Gbdt::fit(&ds, &GbdtParams { n_trees: 400, ..GbdtParams::default() }).unwrap();
+        let stopped = Gbdt::fit(
+            &ds,
+            &GbdtParams {
+                n_trees: 400,
+                validation_fraction: 0.2,
+                early_stopping_rounds: 5,
+                ..GbdtParams::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(full.num_trees(), 400);
+        assert!(
+            stopped.num_trees() < 400,
+            "early stopping never fired ({} trees)",
+            stopped.num_trees()
+        );
+        // And the stopped model still fits well.
+        let (test, test_y) = make_data(300, 22);
+        assert!(r2(&test_y, &stopped.predict(&test)) > 0.9);
+    }
+
+    #[test]
+    fn invalid_validation_fraction_rejected() {
+        let (ds, _) = make_data(50, 23);
+        assert!(Gbdt::fit(
+            &ds,
+            &GbdtParams { validation_fraction: 1.0, ..GbdtParams::default() }
+        )
+        .is_err());
+        assert!(Gbdt::fit(
+            &ds,
+            &GbdtParams { validation_fraction: -0.1, ..GbdtParams::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn monotone_constraint_holds_with_early_stopping() {
+        let mut rng = StdRng::seed_from_u64(24);
+        let rows: Vec<Vec<f64>> = (0..600).map(|i| vec![f64::from(i) / 60.0]).collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| r[0] + (rng.random::<f64>() - 0.5)).collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap();
+        let model = Gbdt::fit(
+            &ds,
+            &GbdtParams {
+                monotone_constraints: vec![1],
+                validation_fraction: 0.15,
+                ..GbdtParams::default()
+            },
+        )
+        .unwrap();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=600 {
+            let p = model.predict_row(&[f64::from(i) / 60.0]);
+            assert!(p >= last - 1e-9);
+            last = p;
+        }
+    }
+}

@@ -1,0 +1,34 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # llmpilot-ml
+//!
+//! From-scratch ML substrate of the LLM-Pilot reproduction: CART regression
+//! trees and random forests with MDI importances (the paper's importance
+//! studies and PARIS/RF baselines), a histogram gradient-boosted tree
+//! ensemble with sample weights and monotone constraints (the XGBoost
+//! stand-in inside the GPU recommendation tool), a dense MLP with
+//! fine-tuning (the PerfNet/PerfNetV2/Morphling baselines), biased matrix
+//! factorization (the Selecta baseline), regression metrics and
+//! leave-one-group-out cross-validation with grid search.
+
+pub mod cv;
+pub mod dataset;
+pub mod error;
+pub mod forest;
+pub mod gbdt;
+pub mod histogram;
+pub mod matrix_factorization;
+pub mod metrics;
+pub mod mlp;
+pub mod tree;
+
+pub use cv::{grid_search, leave_one_group_out, Fold, GridSearchResult};
+pub use dataset::Dataset;
+pub use error::MlError;
+pub use forest::{ForestParams, RandomForest};
+pub use gbdt::{Gbdt, GbdtParams};
+pub use histogram::FeatureBins;
+pub use matrix_factorization::{MatrixFactorization, MfParams};
+pub use metrics::{mae, mape, r2, rmse, weighted_mape};
+pub use mlp::{Mlp, MlpParams};
+pub use tree::{DecisionTree, TreeParams};

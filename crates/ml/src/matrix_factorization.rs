@@ -1,0 +1,207 @@
+//! Biased matrix factorization trained by SGD — the collaborative-filtering
+//! engine behind the Selecta baseline (Sec. V-C).
+//!
+//! Selecta builds a sparse matrix of known performance values over
+//! (application, configuration) pairs and predicts missing entries via
+//! collaborative filtering; the paper implements it with the Surprise
+//! library's `SVD` algorithm, which this module reimplements: rating
+//! `r̂(u,i) = μ + b_u + b_i + p_u·q_i`, all parameters learned by SGD with
+//! L2 regularization.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::error::MlError;
+
+/// Hyperparameters of the factorization (Surprise SVD defaults).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfParams {
+    /// Latent dimensionality.
+    pub n_factors: usize,
+    /// SGD epochs.
+    pub n_epochs: usize,
+    /// Learning rate.
+    pub learning_rate: f64,
+    /// L2 regularization.
+    pub reg: f64,
+    /// Init/shuffle seed.
+    pub seed: u64,
+}
+
+impl Default for MfParams {
+    fn default() -> Self {
+        Self { n_factors: 20, n_epochs: 60, learning_rate: 0.01, reg: 0.02, seed: 3 }
+    }
+}
+
+/// A fitted factorization over an `n_rows × n_cols` sparse matrix.
+#[derive(Debug, Clone)]
+pub struct MatrixFactorization {
+    global_mean: f64,
+    row_bias: Vec<f64>,
+    col_bias: Vec<f64>,
+    row_factors: Vec<f64>,
+    col_factors: Vec<f64>,
+    n_factors: usize,
+    value_range: (f64, f64),
+}
+
+impl MatrixFactorization {
+    /// Fit to observed `(row, col, value)` entries of an `n_rows × n_cols`
+    /// matrix.
+    pub fn fit(
+        n_rows: usize,
+        n_cols: usize,
+        entries: &[(usize, usize, f64)],
+        params: &MfParams,
+    ) -> Result<Self, MlError> {
+        if entries.is_empty() {
+            return Err(MlError::Shape("matrix factorization needs observed entries".into()));
+        }
+        if params.n_factors == 0 {
+            return Err(MlError::InvalidConfig("n_factors must be >= 1".into()));
+        }
+        for &(r, c, v) in entries {
+            if r >= n_rows || c >= n_cols {
+                return Err(MlError::Shape(format!(
+                    "entry ({r}, {c}) outside {n_rows}x{n_cols} matrix"
+                )));
+            }
+            if !v.is_finite() {
+                return Err(MlError::Shape("entries must be finite".into()));
+            }
+        }
+
+        let mut rng = StdRng::seed_from_u64(params.seed);
+        let k = params.n_factors;
+        let init = |rng: &mut StdRng| (rng.random::<f64>() - 0.5) * 0.1;
+        let mut model = Self {
+            global_mean: entries.iter().map(|&(_, _, v)| v).sum::<f64>() / entries.len() as f64,
+            row_bias: vec![0.0; n_rows],
+            col_bias: vec![0.0; n_cols],
+            row_factors: (0..n_rows * k).map(|_| init(&mut rng)).collect(),
+            col_factors: (0..n_cols * k).map(|_| init(&mut rng)).collect(),
+            n_factors: k,
+            value_range: entries.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &(_, _, v)| {
+                (acc.0.min(v), acc.1.max(v))
+            }),
+        };
+
+        let mut order: Vec<usize> = (0..entries.len()).collect();
+        let lr = params.learning_rate;
+        let reg = params.reg;
+        for _ in 0..params.n_epochs {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            for &e in &order {
+                let (r, c, v) = entries[e];
+                let pred = model.predict_raw(r, c);
+                let err = v - pred;
+                model.row_bias[r] += lr * (err - reg * model.row_bias[r]);
+                model.col_bias[c] += lr * (err - reg * model.col_bias[c]);
+                for f in 0..k {
+                    let pu = model.row_factors[r * k + f];
+                    let qi = model.col_factors[c * k + f];
+                    model.row_factors[r * k + f] += lr * (err * qi - reg * pu);
+                    model.col_factors[c * k + f] += lr * (err * pu - reg * qi);
+                }
+            }
+        }
+        Ok(model)
+    }
+
+    fn predict_raw(&self, row: usize, col: usize) -> f64 {
+        let k = self.n_factors;
+        let dot: f64 = (0..k)
+            .map(|f| self.row_factors[row * k + f] * self.col_factors[col * k + f])
+            .sum();
+        self.global_mean + self.row_bias[row] + self.col_bias[col] + dot
+    }
+
+    /// Predict the value of a (possibly unobserved) entry, clamped to the
+    /// observed value range (as Surprise clamps to the rating scale).
+    pub fn predict(&self, row: usize, col: usize) -> f64 {
+        self.predict_raw(row, col).clamp(self.value_range.0, self.value_range.1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Rank-1 synthetic matrix: v = a_r * b_c.
+    fn rank1_entries(n: usize, m: usize) -> Vec<(usize, usize, f64)> {
+        let mut out = Vec::new();
+        for r in 0..n {
+            for c in 0..m {
+                out.push((r, c, (1.0 + r as f64) * (1.0 + c as f64)));
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn reconstructs_observed_entries() {
+        let entries = rank1_entries(8, 6);
+        let m = MatrixFactorization::fit(8, 6, &entries, &MfParams::default()).unwrap();
+        for &(r, c, v) in &entries {
+            let p = m.predict(r, c);
+            assert!((p - v).abs() / v < 0.25, "({r},{c}): {p} vs {v}");
+        }
+    }
+
+    #[test]
+    fn predicts_held_out_entries() {
+        // Hold out one entry of a structured matrix.
+        let mut entries = rank1_entries(10, 8);
+        let held = entries.swap_remove(37);
+        let m = MatrixFactorization::fit(10, 8, &entries, &MfParams::default()).unwrap();
+        let p = m.predict(held.0, held.1);
+        assert!(
+            (p - held.2).abs() / held.2 < 0.4,
+            "held-out ({},{}): {p} vs {}",
+            held.0,
+            held.1,
+            held.2
+        );
+    }
+
+    #[test]
+    fn predictions_clamped_to_observed_range() {
+        let entries = rank1_entries(5, 5);
+        let (lo, hi) = entries
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |a, &(_, _, v)| (a.0.min(v), a.1.max(v)));
+        let m = MatrixFactorization::fit(5, 5, &entries, &MfParams::default()).unwrap();
+        for r in 0..5 {
+            for c in 0..5 {
+                let p = m.predict(r, c);
+                assert!(p >= lo && p <= hi);
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(MatrixFactorization::fit(2, 2, &[], &MfParams::default()).is_err());
+        assert!(MatrixFactorization::fit(2, 2, &[(5, 0, 1.0)], &MfParams::default()).is_err());
+        assert!(MatrixFactorization::fit(2, 2, &[(0, 0, f64::NAN)], &MfParams::default())
+            .is_err());
+        assert!(MatrixFactorization::fit(
+            2,
+            2,
+            &[(0, 0, 1.0)],
+            &MfParams { n_factors: 0, ..MfParams::default() }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let entries = rank1_entries(6, 6);
+        let a = MatrixFactorization::fit(6, 6, &entries, &MfParams::default()).unwrap();
+        let b = MatrixFactorization::fit(6, 6, &entries, &MfParams::default()).unwrap();
+        assert_eq!(a.predict(3, 3), b.predict(3, 3));
+    }
+}

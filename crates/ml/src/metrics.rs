@@ -1,0 +1,116 @@
+//! Regression quality metrics: (weighted) MAPE, MAE, RMSE and R².
+//!
+//! The paper tunes hyperparameters by minimizing the *sample-weighted mean
+//! absolute percentage error* "because it measures the error relative to the
+//! latency values, which vary significantly within our data" (Sec. IV-B-3).
+
+/// Weighted mean absolute percentage error. Targets equal to zero are
+/// skipped (their percentage error is undefined); returns `NaN` when no
+/// valid pair remains.
+pub fn weighted_mape(y_true: &[f64], y_pred: &[f64], weights: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert_eq!(y_true.len(), weights.len());
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for ((&t, &p), &w) in y_true.iter().zip(y_pred).zip(weights) {
+        if t != 0.0 && w > 0.0 {
+            num += w * ((t - p) / t).abs();
+            den += w;
+        }
+    }
+    if den == 0.0 {
+        f64::NAN
+    } else {
+        num / den
+    }
+}
+
+/// Unweighted MAPE.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    weighted_mape(y_true, y_pred, &vec![1.0; y_true.len()])
+}
+
+/// Mean absolute error.
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    (y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>()
+        / y_true.len() as f64)
+        .sqrt()
+}
+
+/// Coefficient of determination R² (1 − SS_res / SS_tot); `NaN` for a
+/// constant target.
+pub fn r2(y_true: &[f64], y_pred: &[f64]) -> f64 {
+    assert_eq!(y_true.len(), y_pred.len());
+    assert!(!y_true.is_empty());
+    let mean = y_true.iter().sum::<f64>() / y_true.len() as f64;
+    let ss_tot: f64 = y_true.iter().map(|t| (t - mean).powi(2)).sum();
+    let ss_res: f64 = y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        f64::NAN
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert_eq!(mape(&y, &y), 0.0);
+        assert_eq!(mae(&y, &y), 0.0);
+        assert_eq!(rmse(&y, &y), 0.0);
+        assert_eq!(r2(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn mape_is_relative() {
+        // 10% error on every point.
+        let y = [10.0, 100.0, 1000.0];
+        let p = [11.0, 110.0, 1100.0];
+        assert!((mape(&y, &p) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_mape_respects_weights() {
+        let y = [10.0, 10.0];
+        let p = [11.0, 15.0]; // 10% and 50% errors
+        let heavy_on_first = weighted_mape(&y, &p, &[9.0, 1.0]);
+        let heavy_on_second = weighted_mape(&y, &p, &[1.0, 9.0]);
+        assert!(heavy_on_first < heavy_on_second);
+        assert!((heavy_on_first - (0.9 * 0.1 + 0.1 * 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_skips_zero_targets() {
+        let v = weighted_mape(&[0.0, 10.0], &[5.0, 12.0], &[1.0, 1.0]);
+        assert!((v - 0.2).abs() < 1e-12);
+        assert!(weighted_mape(&[0.0], &[1.0], &[1.0]).is_nan());
+    }
+
+    #[test]
+    fn r2_of_mean_prediction_is_zero() {
+        let y = [1.0, 2.0, 3.0, 4.0];
+        let p = [2.5, 2.5, 2.5, 2.5];
+        assert!(r2(&y, &p).abs() < 1e-12);
+        assert!(r2(&[5.0, 5.0], &[5.0, 5.0]).is_nan());
+    }
+
+    #[test]
+    fn rmse_penalizes_outliers_more_than_mae() {
+        let y = [0.0, 0.0, 0.0, 0.0];
+        let p = [0.0, 0.0, 0.0, 4.0];
+        assert!(rmse(&y, &p) > mae(&y, &p));
+    }
+}

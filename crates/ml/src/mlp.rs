@@ -1,0 +1,401 @@
+//! Dense multi-layer perceptron regressor (ReLU hidden layers, Adam, MSE)
+//! with input/target standardization and a fine-tuning entry point.
+//!
+//! This is the substrate behind the paper's neural baselines (Sec. V-C):
+//! PerfNet and PerfNetV2 regress latency from features alone; Morphling
+//! additionally *fine-tunes* the trained network on the reference
+//! measurements of the unseen model — which is what [`Mlp::fine_tune`]
+//! provides.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// MLP hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MlpParams {
+    /// Hidden-layer widths, e.g. `[64, 32]`.
+    pub hidden_layers: Vec<usize>,
+    /// Adam learning rate.
+    pub learning_rate: f64,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// L2 weight decay.
+    pub l2: f64,
+    /// RNG seed (init + shuffling).
+    pub seed: u64,
+}
+
+impl Default for MlpParams {
+    fn default() -> Self {
+        Self {
+            hidden_layers: vec![64, 32],
+            learning_rate: 1e-3,
+            epochs: 200,
+            batch_size: 32,
+            l2: 1e-5,
+            seed: 77,
+        }
+    }
+}
+
+/// One dense layer with Adam state.
+#[derive(Debug, Clone)]
+struct Layer {
+    inputs: usize,
+    outputs: usize,
+    w: Vec<f64>,
+    b: Vec<f64>,
+    // Adam moments.
+    mw: Vec<f64>,
+    vw: Vec<f64>,
+    mb: Vec<f64>,
+    vb: Vec<f64>,
+}
+
+impl Layer {
+    fn new<R: Rng + ?Sized>(inputs: usize, outputs: usize, rng: &mut R) -> Self {
+        // He initialization for ReLU stacks.
+        let scale = (2.0 / inputs as f64).sqrt();
+        let w = (0..inputs * outputs)
+            .map(|_| {
+                // Box–Muller.
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random::<f64>();
+                (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos() * scale
+            })
+            .collect();
+        Self {
+            inputs,
+            outputs,
+            w,
+            b: vec![0.0; outputs],
+            mw: vec![0.0; inputs * outputs],
+            vw: vec![0.0; inputs * outputs],
+            mb: vec![0.0; outputs],
+            vb: vec![0.0; outputs],
+        }
+    }
+
+    fn forward(&self, x: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for o in 0..self.outputs {
+            let mut acc = self.b[o];
+            let row = &self.w[o * self.inputs..(o + 1) * self.inputs];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            out.push(acc);
+        }
+    }
+}
+
+/// Per-column standardizer.
+#[derive(Debug, Clone, PartialEq)]
+struct Scaler {
+    mean: Vec<f64>,
+    std: Vec<f64>,
+}
+
+impl Scaler {
+    fn fit(columns: usize, rows: impl Iterator<Item = Vec<f64>> + Clone) -> Self {
+        let mut mean = vec![0.0; columns];
+        let mut count = 0usize;
+        for row in rows.clone() {
+            for (m, v) in mean.iter_mut().zip(&row) {
+                *m += v;
+            }
+            count += 1;
+        }
+        for m in &mut mean {
+            *m /= count.max(1) as f64;
+        }
+        let mut var = vec![0.0; columns];
+        for row in rows {
+            for ((s, v), m) in var.iter_mut().zip(&row).zip(&mean) {
+                *s += (v - m).powi(2);
+            }
+        }
+        let std = var
+            .iter()
+            .map(|&s| (s / count.max(1) as f64).sqrt().max(1e-9))
+            .collect();
+        Self { mean, std }
+    }
+
+    fn transform(&self, row: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        for ((v, m), s) in row.iter().zip(&self.mean).zip(&self.std) {
+            out.push((v - m) / s);
+        }
+    }
+}
+
+/// A fitted MLP regressor.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Layer>,
+    x_scaler: Scaler,
+    y_mean: f64,
+    y_std: f64,
+    adam_t: u64,
+    params: MlpParams,
+}
+
+impl Mlp {
+    /// Initialize and train on a dataset.
+    pub fn fit(ds: &Dataset, params: &MlpParams) -> Result<Self, MlError> {
+        if ds.n_rows() == 0 {
+            return Err(MlError::Shape("cannot fit MLP to zero rows".into()));
+        }
+        if params.batch_size == 0 || params.learning_rate <= 0.0 {
+            return Err(MlError::InvalidConfig("batch_size and learning_rate must be positive".into()));
+        }
+        let mut rng = StdRng::seed_from_u64(params.seed);
+
+        let x_scaler = Scaler::fit(ds.n_cols(), (0..ds.n_rows()).map(|i| ds.row(i).to_vec()));
+        let y_mean = ds.targets().iter().sum::<f64>() / ds.n_rows() as f64;
+        let y_std = (ds.targets().iter().map(|y| (y - y_mean).powi(2)).sum::<f64>()
+            / ds.n_rows() as f64)
+            .sqrt()
+            .max(1e-9);
+
+        let mut sizes = vec![ds.n_cols()];
+        sizes.extend(&params.hidden_layers);
+        sizes.push(1);
+        let layers = sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
+
+        let mut model = Self {
+            layers,
+            x_scaler,
+            y_mean,
+            y_std,
+            adam_t: 0,
+            params: params.clone(),
+        };
+        model.train(ds, params.epochs, params.learning_rate, &mut rng);
+        Ok(model)
+    }
+
+    /// Continue training on (new) data — Morphling's reference fine-tuning.
+    pub fn fine_tune(&mut self, ds: &Dataset, epochs: usize, learning_rate: f64) {
+        let mut rng = StdRng::seed_from_u64(self.params.seed.wrapping_add(0x5EED));
+        self.train(ds, epochs, learning_rate, &mut rng);
+    }
+
+    fn train<R: Rng + ?Sized>(&mut self, ds: &Dataset, epochs: usize, lr: f64, rng: &mut R) {
+        let n = ds.n_rows();
+        let mut order: Vec<usize> = (0..n).collect();
+        for _ in 0..epochs {
+            // Fisher–Yates shuffle.
+            for i in (1..n).rev() {
+                order.swap(i, rng.random_range(0..=i));
+            }
+            for chunk in order.chunks(self.params.batch_size) {
+                self.adam_t += 1;
+                self.step(ds, chunk, lr);
+            }
+        }
+    }
+
+    /// One Adam step on a mini-batch (MSE on standardized targets, weighted).
+    fn step(&mut self, ds: &Dataset, batch: &[usize], lr: f64) {
+        let l = self.layers.len();
+        // Accumulated gradients.
+        let mut gw: Vec<Vec<f64>> = self.layers.iter().map(|la| vec![0.0; la.w.len()]).collect();
+        let mut gb: Vec<Vec<f64>> = self.layers.iter().map(|la| vec![0.0; la.b.len()]).collect();
+
+        let mut x = Vec::new();
+        let mut weight_total = 0.0;
+        for &i in batch {
+            self.x_scaler.transform(ds.row(i), &mut x);
+            let w = ds.weight(i);
+            weight_total += w;
+
+            // Forward pass, keeping post-activation values per layer.
+            let mut activations: Vec<Vec<f64>> = Vec::with_capacity(l + 1);
+            activations.push(x.clone());
+            let mut buf = Vec::new();
+            for (li, layer) in self.layers.iter().enumerate() {
+                layer.forward(activations.last().expect("nonempty"), &mut buf);
+                if li + 1 < l {
+                    for v in buf.iter_mut() {
+                        *v = v.max(0.0); // ReLU
+                    }
+                }
+                activations.push(buf.clone());
+            }
+
+            let y_std = (ds.targets()[i] - self.y_mean) / self.y_std;
+            let pred = activations[l][0];
+            // dL/dpred for 0.5·w·(pred − y)².
+            let mut delta = vec![w * (pred - y_std)];
+
+            for li in (0..l).rev() {
+                let input = &activations[li];
+                let layer = &self.layers[li];
+                // Gradients of this layer.
+                for o in 0..layer.outputs {
+                    gb[li][o] += delta[o];
+                    let row = &mut gw[li][o * layer.inputs..(o + 1) * layer.inputs];
+                    for (g, inp) in row.iter_mut().zip(input) {
+                        *g += delta[o] * inp;
+                    }
+                }
+                if li == 0 {
+                    break;
+                }
+                // Propagate delta through weights and the previous ReLU.
+                let mut prev = vec![0.0; layer.inputs];
+                for o in 0..layer.outputs {
+                    let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
+                    for (p, wv) in prev.iter_mut().zip(row) {
+                        *p += delta[o] * wv;
+                    }
+                }
+                for (p, a) in prev.iter_mut().zip(&activations[li]) {
+                    if *a <= 0.0 {
+                        *p = 0.0;
+                    }
+                }
+                delta = prev;
+            }
+        }
+
+        if weight_total <= 0.0 {
+            return;
+        }
+        let scale = 1.0 / weight_total;
+        let (b1, b2, eps): (f64, f64, f64) = (0.9, 0.999, 1e-8);
+        let t = self.adam_t as i32;
+        let corr1 = 1.0 - b1.powi(t);
+        let corr2 = 1.0 - b2.powi(t);
+        for (li, layer) in self.layers.iter_mut().enumerate() {
+            for (k, g) in gw[li].iter().enumerate() {
+                let g = g * scale + self.params.l2 * layer.w[k];
+                layer.mw[k] = b1 * layer.mw[k] + (1.0 - b1) * g;
+                layer.vw[k] = b2 * layer.vw[k] + (1.0 - b2) * g * g;
+                layer.w[k] -= lr * (layer.mw[k] / corr1) / ((layer.vw[k] / corr2).sqrt() + eps);
+            }
+            for (k, g) in gb[li].iter().enumerate() {
+                let g = g * scale;
+                layer.mb[k] = b1 * layer.mb[k] + (1.0 - b1) * g;
+                layer.vb[k] = b2 * layer.vb[k] + (1.0 - b2) * g * g;
+                layer.b[k] -= lr * (layer.mb[k] / corr1) / ((layer.vb[k] / corr2).sqrt() + eps);
+            }
+        }
+    }
+
+    /// Predict one feature row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut x = Vec::new();
+        self.x_scaler.transform(row, &mut x);
+        let mut buf = Vec::new();
+        let l = self.layers.len();
+        for (li, layer) in self.layers.iter().enumerate() {
+            layer.forward(&x, &mut buf);
+            if li + 1 < l {
+                for v in buf.iter_mut() {
+                    *v = v.max(0.0);
+                }
+            }
+            std::mem::swap(&mut x, &mut buf);
+        }
+        x[0] * self.y_std + self.y_mean
+    }
+
+    /// Predict every row of a dataset.
+    pub fn predict(&self, ds: &Dataset) -> Vec<f64> {
+        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::r2;
+
+    fn make_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|_| vec![rng.random::<f64>() * 2.0 - 1.0, rng.random::<f64>() * 2.0 - 1.0])
+            .collect();
+        let targets: Vec<f64> = rows.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 0.5).collect();
+        (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
+    }
+
+    #[test]
+    fn learns_linear_function() {
+        let (ds, targets) = make_data(500, 1);
+        let model = Mlp::fit(
+            &ds,
+            &MlpParams { epochs: 150, hidden_layers: vec![32], ..MlpParams::default() },
+        )
+        .unwrap();
+        let r = r2(&targets, &model.predict(&ds));
+        assert!(r > 0.98, "r2 = {r}");
+    }
+
+    #[test]
+    fn learns_nonlinear_function() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let rows: Vec<Vec<f64>> =
+            (0..1500).map(|_| vec![rng.random::<f64>() * 4.0 - 2.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0].abs() + (r[0] * 2.0).sin()).collect();
+        let ds = Dataset::from_rows(&rows, targets.clone()).unwrap();
+        let model = Mlp::fit(&ds, &MlpParams { epochs: 300, ..MlpParams::default() }).unwrap();
+        let r = r2(&targets, &model.predict(&ds));
+        assert!(r > 0.9, "r2 = {r}");
+    }
+
+    #[test]
+    fn fine_tuning_adapts_to_shifted_data() {
+        let (ds, _) = make_data(400, 3);
+        let mut model =
+            Mlp::fit(&ds, &MlpParams { epochs: 100, ..MlpParams::default() }).unwrap();
+        // New regime: constant offset of +10.
+        let shifted_targets: Vec<f64> = ds.targets().iter().map(|y| y + 10.0).collect();
+        let shifted =
+            Dataset::from_rows(&(0..ds.n_rows()).map(|i| ds.row(i).to_vec()).collect::<Vec<_>>(), shifted_targets.clone())
+                .unwrap();
+        let before = r2(&shifted_targets, &model.predict(&shifted));
+        model.fine_tune(&shifted, 100, 1e-3);
+        let after = r2(&shifted_targets, &model.predict(&shifted));
+        assert!(after > before, "fine-tune did not help: {before} -> {after}");
+        assert!(after > 0.9, "after = {after}");
+    }
+
+    #[test]
+    fn sample_weights_bias_the_fit() {
+        // Conflicting labels at the same x; heavy weight wins.
+        let rows: Vec<Vec<f64>> = (0..100).map(|_| vec![0.5]).collect();
+        let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 0.0 } else { 8.0 }).collect();
+        let weights: Vec<f64> = (0..100).map(|i| if i < 50 { 20.0 } else { 0.05 }).collect();
+        let ds = Dataset::from_rows(&rows, targets).unwrap().with_weights(weights).unwrap();
+        let model = Mlp::fit(&ds, &MlpParams { epochs: 200, ..MlpParams::default() }).unwrap();
+        let p = model.predict_row(&[0.5]);
+        assert!(p < 2.0, "weighted prediction {p} should approach 0");
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let (ds, _) = make_data(100, 4);
+        let p = MlpParams { epochs: 20, ..MlpParams::default() };
+        let a = Mlp::fit(&ds, &p).unwrap();
+        let b = Mlp::fit(&ds, &p).unwrap();
+        assert_eq!(a.predict_row(ds.row(0)), b.predict_row(ds.row(0)));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let (ds, _) = make_data(10, 5);
+        assert!(Mlp::fit(&ds, &MlpParams { batch_size: 0, ..MlpParams::default() }).is_err());
+        assert!(
+            Mlp::fit(&ds, &MlpParams { learning_rate: 0.0, ..MlpParams::default() }).is_err()
+        );
+    }
+}

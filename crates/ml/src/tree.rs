@@ -1,0 +1,377 @@
+//! CART regression trees with exact splits, sample weights and
+//! Mean-Decrease-in-Impurity feature importances.
+//!
+//! These trees back the random-forest regressor used by the paper's
+//! importance studies (Sec. III-A, Fig. 4) and the PARIS/RF baselines
+//! (Sec. V-C). Splits minimize the weighted sum of squared errors; MDI
+//! importance accumulates each split's impurity decrease on its feature,
+//! exactly the estimator of Breiman's CART book [3 in the paper].
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::dataset::Dataset;
+use crate::error::MlError;
+
+/// Hyperparameters of one regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TreeParams {
+    /// Maximum tree depth (root = depth 0).
+    pub max_depth: usize,
+    /// Minimum number of samples required to attempt a split.
+    pub min_samples_split: usize,
+    /// Minimum number of samples in each child.
+    pub min_samples_leaf: usize,
+    /// Number of candidate features per split (`None` = all; random forests
+    /// pass a subset size).
+    pub max_features: Option<usize>,
+}
+
+impl Default for TreeParams {
+    fn default() -> Self {
+        Self { max_depth: 12, min_samples_split: 2, min_samples_leaf: 1, max_features: None }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Node {
+    Leaf { value: f64 },
+    Split { feature: u32, threshold: f64, left: u32, right: u32 },
+}
+
+/// A fitted CART regression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionTree {
+    nodes: Vec<Node>,
+    n_features: usize,
+    importance: Vec<f64>,
+}
+
+/// Weighted sum-of-squared-errors statistics of a sample set.
+#[derive(Debug, Clone, Copy, Default)]
+struct SseStats {
+    w: f64,
+    wy: f64,
+    wyy: f64,
+}
+
+impl SseStats {
+    fn add(&mut self, y: f64, w: f64) {
+        self.w += w;
+        self.wy += w * y;
+        self.wyy += w * y * y;
+    }
+
+    fn sub(&mut self, y: f64, w: f64) {
+        self.w -= w;
+        self.wy -= w * y;
+        self.wyy -= w * y * y;
+    }
+
+    /// Weighted SSE around the weighted mean.
+    fn sse(&self) -> f64 {
+        if self.w <= 0.0 {
+            0.0
+        } else {
+            (self.wyy - self.wy * self.wy / self.w).max(0.0)
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        if self.w <= 0.0 {
+            0.0
+        } else {
+            self.wy / self.w
+        }
+    }
+}
+
+impl DecisionTree {
+    /// Fit a tree. The RNG drives per-split feature subsampling (pass any
+    /// seeded RNG; it is unused when `max_features` is `None`).
+    pub fn fit<R: Rng + ?Sized>(
+        ds: &Dataset,
+        params: &TreeParams,
+        rng: &mut R,
+    ) -> Result<Self, MlError> {
+        if ds.n_rows() == 0 {
+            return Err(MlError::Shape("cannot fit a tree to zero rows".into()));
+        }
+        if params.min_samples_leaf == 0 {
+            return Err(MlError::InvalidConfig("min_samples_leaf must be >= 1".into()));
+        }
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_features: ds.n_cols(),
+            importance: vec![0.0; ds.n_cols()],
+        };
+        let indices: Vec<u32> = (0..ds.n_rows() as u32).collect();
+        tree.build(ds, params, rng, indices, 0);
+        // Normalize MDI to sum to 1 (when any split happened).
+        let total: f64 = tree.importance.iter().sum();
+        if total > 0.0 {
+            for v in &mut tree.importance {
+                *v /= total;
+            }
+        }
+        Ok(tree)
+    }
+
+    fn build<R: Rng + ?Sized>(
+        &mut self,
+        ds: &Dataset,
+        params: &TreeParams,
+        rng: &mut R,
+        indices: Vec<u32>,
+        depth: usize,
+    ) -> u32 {
+        let mut stats = SseStats::default();
+        for &i in &indices {
+            stats.add(ds.targets()[i as usize], ds.weight(i as usize));
+        }
+        let node_id = self.nodes.len() as u32;
+
+        let can_split = depth < params.max_depth
+            && indices.len() >= params.min_samples_split
+            && indices.len() >= 2 * params.min_samples_leaf
+            && stats.sse() > 1e-12;
+        if !can_split {
+            self.nodes.push(Node::Leaf { value: stats.mean() });
+            return node_id;
+        }
+
+        let split = self.best_split(ds, params, rng, &indices, &stats);
+        let Some((feature, threshold, gain)) = split else {
+            self.nodes.push(Node::Leaf { value: stats.mean() });
+            return node_id;
+        };
+
+        self.importance[feature] += gain;
+        // Reserve the split node; children are built next.
+        self.nodes.push(Node::Leaf { value: stats.mean() });
+
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
+            .into_iter()
+            .partition(|&i| ds.value(i as usize, feature) <= threshold);
+        let left = self.build(ds, params, rng, left_idx, depth + 1);
+        let right = self.build(ds, params, rng, right_idx, depth + 1);
+        self.nodes[node_id as usize] =
+            Node::Split { feature: feature as u32, threshold, left, right };
+        node_id
+    }
+
+    /// Best `(feature, threshold, gain)` over the candidate features, or
+    /// `None` when no valid split exists.
+    fn best_split<R: Rng + ?Sized>(
+        &self,
+        ds: &Dataset,
+        params: &TreeParams,
+        rng: &mut R,
+        indices: &[u32],
+        parent: &SseStats,
+    ) -> Option<(usize, f64, f64)> {
+        let mut features: Vec<usize> = (0..ds.n_cols()).collect();
+        if let Some(k) = params.max_features {
+            features.shuffle(rng);
+            features.truncate(k.clamp(1, ds.n_cols()));
+        }
+
+        let parent_sse = parent.sse();
+        let mut best: Option<(usize, f64, f64)> = None;
+        let mut sorted: Vec<(f64, f64, f64)> = Vec::with_capacity(indices.len());
+
+        for &f in &features {
+            sorted.clear();
+            sorted.extend(indices.iter().map(|&i| {
+                let i = i as usize;
+                (ds.value(i, f), ds.targets()[i], ds.weight(i))
+            }));
+            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+
+            let mut left = SseStats::default();
+            let mut right = *parent;
+            for (pos, &(x, y, w)) in sorted.iter().enumerate() {
+                left.add(y, w);
+                right.sub(y, w);
+                let n_left = pos + 1;
+                let n_right = sorted.len() - n_left;
+                if n_left < params.min_samples_leaf || n_right < params.min_samples_leaf {
+                    continue;
+                }
+                // Only split between distinct feature values.
+                let next_x = match sorted.get(pos + 1) {
+                    Some(&(nx, _, _)) => nx,
+                    None => break,
+                };
+                if next_x <= x {
+                    continue;
+                }
+                let gain = parent_sse - left.sse() - right.sse();
+                if gain > best.map_or(1e-12, |(_, _, g)| g) {
+                    best = Some((f, 0.5 * (x + next_x), gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Predict one row.
+    pub fn predict_row(&self, row: &[f64]) -> f64 {
+        let mut node = 0usize;
+        loop {
+            match &self.nodes[node] {
+                Node::Leaf { value } => return *value,
+                Node::Split { feature, threshold, left, right } => {
+                    node = if row[*feature as usize] <= *threshold {
+                        *left as usize
+                    } else {
+                        *right as usize
+                    };
+                }
+            }
+        }
+    }
+
+    /// Predict every row of a dataset.
+    pub fn predict(&self, ds: &Dataset) -> Vec<f64> {
+        (0..ds.n_rows()).map(|i| self.predict_row(ds.row(i))).collect()
+    }
+
+    /// Normalized MDI feature importances (sum to 1 when any split exists).
+    pub fn feature_importance(&self) -> &[f64] {
+        &self.importance
+    }
+
+    /// Number of nodes (leaves + splits).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Tree depth (0 for a single leaf).
+    pub fn depth(&self) -> usize {
+        fn depth_of(nodes: &[Node], id: usize) -> usize {
+            match &nodes[id] {
+                Node::Leaf { .. } => 0,
+                Node::Split { left, right, .. } => {
+                    1 + depth_of(nodes, *left as usize).max(depth_of(nodes, *right as usize))
+                }
+            }
+        }
+        depth_of(&self.nodes, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    /// y = step function of x0.
+    fn step_dataset() -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i), 0.0]).collect();
+        let targets: Vec<f64> = (0..100).map(|i| if i < 50 { 1.0 } else { 5.0 }).collect();
+        Dataset::from_rows(&rows, targets).unwrap()
+    }
+
+    #[test]
+    fn learns_a_step_function_exactly() {
+        let ds = step_dataset();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
+        assert_eq!(tree.predict_row(&[10.0, 0.0]), 1.0);
+        assert_eq!(tree.predict_row(&[80.0, 0.0]), 5.0);
+        // All importance on feature 0.
+        assert!((tree.feature_importance()[0] - 1.0).abs() < 1e-12);
+        assert_eq!(tree.feature_importance()[1], 0.0);
+    }
+
+    #[test]
+    fn depth_zero_yields_mean_leaf() {
+        let ds = step_dataset();
+        let params = TreeParams { max_depth: 0, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&ds, &params, &mut rng()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert!((tree.predict_row(&[0.0, 0.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_samples_leaf() {
+        let ds = step_dataset();
+        let params = TreeParams { min_samples_leaf: 60, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&ds, &params, &mut rng()).unwrap();
+        // No valid split leaves a single leaf.
+        assert_eq!(tree.num_nodes(), 1);
+    }
+
+    #[test]
+    fn sample_weights_shift_the_leaf_mean() {
+        let rows = vec![vec![0.0], vec![0.0]];
+        let ds = Dataset::from_rows(&rows, vec![0.0, 10.0])
+            .unwrap()
+            .with_weights(vec![9.0, 1.0])
+            .unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
+        assert!((tree.predict_row(&[0.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fits_a_smooth_function_with_low_error() {
+        let rows: Vec<Vec<f64>> =
+            (0..500).map(|i| vec![f64::from(i) / 50.0, f64::from(i % 7)]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| (r[0] * 2.0).sin() * 3.0 + r[1]).collect();
+        let ds = Dataset::from_rows(&rows, targets.clone()).unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
+        let pred = tree.predict(&ds);
+        let r2 = crate::metrics::r2(&targets, &pred);
+        assert!(r2 > 0.95, "r2 = {r2}");
+    }
+
+    #[test]
+    fn feature_subsampling_uses_subset() {
+        let ds = step_dataset();
+        let params = TreeParams { max_features: Some(1), ..TreeParams::default() };
+        // Must still fit without panicking and produce a valid tree.
+        let tree = DecisionTree::fit(&ds, &params, &mut rng()).unwrap();
+        assert!(tree.num_nodes() >= 1);
+    }
+
+    #[test]
+    fn constant_target_is_single_leaf() {
+        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]], vec![4.0, 4.0, 4.0])
+            .unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+        assert_eq!(tree.predict_row(&[9.0]), 4.0);
+    }
+
+    #[test]
+    fn invalid_config_rejected() {
+        let ds = step_dataset();
+        let params = TreeParams { min_samples_leaf: 0, ..TreeParams::default() };
+        assert!(matches!(
+            DecisionTree::fit(&ds, &params, &mut rng()),
+            Err(MlError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn depth_is_bounded() {
+        let ds = step_dataset();
+        let params = TreeParams { max_depth: 3, ..TreeParams::default() };
+        let tree = DecisionTree::fit(&ds, &params, &mut rng()).unwrap();
+        assert!(tree.depth() <= 3);
+    }
+
+    #[test]
+    fn duplicate_feature_values_never_split_between_ties() {
+        // All x identical → no split possible on x, falls back to leaf.
+        let ds = Dataset::from_rows(&[vec![5.0], vec![5.0], vec![5.0]], vec![1.0, 2.0, 3.0])
+            .unwrap();
+        let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
+        assert_eq!(tree.num_nodes(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Bridge from LLM-Pilot's data to placement problems: turn measured
+//! characterization data (or a trained performance model) into each
+//! tenant's viable [`DeploymentOption`]s.
+
+use llmpilot_core::dataset::CharacterizationDataset;
+use llmpilot_core::evaluate::true_u_max;
+use llmpilot_core::predictor::PerformancePredictor;
+use llmpilot_core::recommend::{
+    parse_profile, pods_needed, u_max, RecommendationRequest,
+};
+use llmpilot_sim::gpu::GpuProfile;
+use llmpilot_sim::llm::LlmSpec;
+
+use crate::problem::{DeploymentOption, Tenant};
+
+fn option_for(profile: &GpuProfile, pods: u32) -> DeploymentOption {
+    DeploymentOption {
+        profile: profile.name(),
+        gpu_type: profile.gpu.name.to_string(),
+        gpus_per_pod: profile.count,
+        pods,
+        cost_per_hour: f64::from(pods) * profile.cost_per_hour(),
+    }
+}
+
+/// Build a tenant from *measured* data: every profile whose true capacity
+/// satisfies the request becomes a viable option with its minimal pod count.
+pub fn tenant_from_measurements(
+    name: &str,
+    llm_name: &str,
+    dataset: &CharacterizationDataset,
+    profiles: &[GpuProfile],
+    request: &RecommendationRequest,
+) -> Tenant {
+    let options = profiles
+        .iter()
+        .filter_map(|p| {
+            let cap = true_u_max(dataset, llm_name, &p.name(), &request.constraints)?;
+            Some(option_for(p, pods_needed(request.total_users, cap)))
+        })
+        .collect();
+    Tenant { name: name.to_string(), options }
+}
+
+/// Build a tenant from a *trained performance model* (an unseen LLM): every
+/// profile whose predicted capacity satisfies the request becomes an option.
+pub fn tenant_from_predictions(
+    name: &str,
+    llm: &LlmSpec,
+    model: &PerformancePredictor,
+    profiles: &[GpuProfile],
+    request: &RecommendationRequest,
+) -> Tenant {
+    let options = profiles
+        .iter()
+        .filter_map(|p| {
+            let latencies: Vec<(u32, f64, f64)> = request
+                .user_grid
+                .iter()
+                .map(|&u| {
+                    let (l1, l2) = model.predict(llm, p, u);
+                    (u, l1, l2)
+                })
+                .collect();
+            let cap = u_max(&latencies, &request.constraints)?;
+            Some(option_for(p, pods_needed(request.total_users, cap)))
+        })
+        .collect();
+    Tenant { name: name.to_string(), options }
+}
+
+/// Parse profile names appearing in a dataset back into [`GpuProfile`]s,
+/// skipping unknown ones.
+pub fn profiles_in_dataset(dataset: &CharacterizationDataset) -> Vec<GpuProfile> {
+    dataset.profiles().iter().filter_map(|name| parse_profile(name)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_core::dataset::PerfRow;
+    use llmpilot_core::recommend::LatencyConstraints;
+
+    fn row(llm: &str, profile: &str, users: u32, itl: f64) -> PerfRow {
+        PerfRow {
+            llm: llm.into(),
+            profile: profile.into(),
+            users,
+            ttft_s: 0.1,
+            nttft_s: 0.0001,
+            itl_s: itl,
+            throughput: 1.0,
+        }
+    }
+
+    fn dataset() -> CharacterizationDataset {
+        let mut ds = CharacterizationDataset::default();
+        for users in [1u32, 2, 4, 8, 16, 32, 64, 128] {
+            // H100 satisfies up to 32 users; T4 fails even at 1.
+            ds.rows.push(row(
+                "Llama-2-7b",
+                "1xH100-80GB",
+                users,
+                if users <= 32 { 0.02 } else { 0.2 },
+            ));
+            ds.rows.push(row("Llama-2-7b", "1xT4-16GB", users, 0.4));
+        }
+        ds
+    }
+
+    #[test]
+    fn measured_tenant_gets_minimal_pod_options() {
+        let ds = dataset();
+        let profiles = profiles_in_dataset(&ds);
+        assert_eq!(profiles.len(), 2);
+        let request = RecommendationRequest {
+            total_users: 100,
+            constraints: LatencyConstraints::paper_defaults(),
+            user_grid: (0..8).map(|i| 1u32 << i).collect(),
+        };
+        let tenant =
+            tenant_from_measurements("svc", "Llama-2-7b", &ds, &profiles, &request);
+        // Only the H100 profile is viable: ceil(100/32) = 4 pods.
+        assert_eq!(tenant.options.len(), 1);
+        assert_eq!(tenant.options[0].profile, "1xH100-80GB");
+        assert_eq!(tenant.options[0].pods, 4);
+        assert_eq!(tenant.options[0].gpu_type, "H100-80GB");
+        assert_eq!(tenant.options[0].gpus_per_pod, 1);
+    }
+
+    #[test]
+    fn unknown_llm_yields_no_options() {
+        let ds = dataset();
+        let profiles = profiles_in_dataset(&ds);
+        let tenant = tenant_from_measurements(
+            "svc",
+            "no-such-model",
+            &ds,
+            &profiles,
+            &RecommendationRequest::paper_defaults(),
+        );
+        assert!(tenant.options.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! The shared GPU inventory tenants compete for.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Counts of physical GPUs per type owned by the cluster.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct GpuInventory {
+    counts: BTreeMap<String, u32>,
+}
+
+impl GpuInventory {
+    /// Empty inventory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build from `(gpu type, count)` pairs (repeated types accumulate).
+    pub fn from_counts<I: IntoIterator<Item = (String, u32)>>(counts: I) -> Self {
+        let mut inv = Self::new();
+        for (gpu, count) in counts {
+            inv.add(&gpu, count);
+        }
+        inv
+    }
+
+    /// Add GPUs of a type.
+    pub fn add(&mut self, gpu: &str, count: u32) {
+        if count > 0 {
+            *self.counts.entry(gpu.to_string()).or_insert(0) += count;
+        }
+    }
+
+    /// Available GPUs of a type.
+    pub fn available(&self, gpu: &str) -> u32 {
+        self.counts.get(gpu).copied().unwrap_or(0)
+    }
+
+    /// Total GPUs across types.
+    pub fn total(&self) -> u64 {
+        self.counts.values().map(|&c| u64::from(c)).sum()
+    }
+
+    /// Whether `count` GPUs of `gpu` can be taken.
+    pub fn fits(&self, gpu: &str, count: u32) -> bool {
+        self.available(gpu) >= count
+    }
+
+    /// Take GPUs; returns false (without mutating) when unavailable.
+    pub fn take(&mut self, gpu: &str, count: u32) -> bool {
+        match self.counts.get_mut(gpu) {
+            Some(c) if *c >= count => {
+                *c -= count;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Return GPUs to the pool.
+    pub fn give_back(&mut self, gpu: &str, count: u32) {
+        self.add(gpu, count);
+    }
+
+    /// GPU types with at least one unit, in deterministic order.
+    pub fn types(&self) -> Vec<&str> {
+        self.counts
+            .iter()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(t, _)| t.as_str())
+            .collect()
+    }
+}
+
+impl fmt::Display for GpuInventory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (gpu, count) in &self.counts {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{count}x {gpu}")?;
+            first = false;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_and_give_back_round_trip() {
+        let mut inv = GpuInventory::from_counts([("A100-40GB".into(), 8), ("T4-16GB".into(), 4)]);
+        assert_eq!(inv.total(), 12);
+        assert!(inv.take("A100-40GB", 5));
+        assert_eq!(inv.available("A100-40GB"), 3);
+        assert!(!inv.take("A100-40GB", 4));
+        assert_eq!(inv.available("A100-40GB"), 3, "failed take must not mutate");
+        inv.give_back("A100-40GB", 5);
+        assert_eq!(inv.available("A100-40GB"), 8);
+    }
+
+    #[test]
+    fn unknown_types_are_empty() {
+        let inv = GpuInventory::new();
+        assert_eq!(inv.available("H100-80GB"), 0);
+        assert!(!inv.fits("H100-80GB", 1));
+        assert!(inv.fits("H100-80GB", 0));
+    }
+
+    #[test]
+    fn repeated_adds_accumulate() {
+        let inv = GpuInventory::from_counts([
+            ("T4-16GB".into(), 2),
+            ("T4-16GB".into(), 3),
+            ("V100-16GB".into(), 0),
+        ]);
+        assert_eq!(inv.available("T4-16GB"), 5);
+        assert_eq!(inv.types(), vec!["T4-16GB"]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let inv = GpuInventory::from_counts([("A10-24GB".into(), 2), ("T4-16GB".into(), 1)]);
+        assert_eq!(inv.to_string(), "2x A10-24GB, 1x T4-16GB");
+    }
+}

@@ -1,0 +1,29 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # llmpilot-placement
+//!
+//! Multi-tenant GPU placement — the LLM-Pilot paper's stated next step
+//! ("the multi-tenancy scenario, in which multiple users compete to deploy
+//! LLM inference services on the same hardware resources", Sec. VII),
+//! implemented on top of the reproduction:
+//!
+//! * a [`inventory::GpuInventory`] of the cluster's physical
+//!   GPUs,
+//! * [`problem::Tenant`]s whose viable deployments come from
+//!   measured characterization data or LLM-Pilot's performance model
+//!   ([`from_dataset`]),
+//! * solvers ([`solver`]) optimizing the lexicographic objective
+//!   (serve the most tenants, then minimize total cost): a greedy heuristic
+//!   with local improvement and an exact branch-and-bound oracle.
+
+pub mod from_dataset;
+pub mod inventory;
+pub mod problem;
+pub mod solver;
+
+pub use from_dataset::{
+    profiles_in_dataset, tenant_from_measurements, tenant_from_predictions,
+};
+pub use inventory::GpuInventory;
+pub use problem::{DeploymentOption, Placement, PlacementProblem, Tenant};
+pub use solver::{solve_exact, solve_greedy};

@@ -1,0 +1,169 @@
+//! The multi-tenant placement problem: each tenant wants one of several
+//! viable deployments; all tenants draw from one finite GPU inventory.
+//!
+//! The objective is lexicographic, matching how a cluster administrator
+//! thinks: first serve as many tenants as possible, then minimize the total
+//! hourly cost of the chosen deployments.
+
+use crate::inventory::GpuInventory;
+
+/// One viable deployment for a tenant: `pods` pods, each holding
+/// `gpus_per_pod` GPUs of `gpu_type`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeploymentOption {
+    /// Profile name, e.g. `2xA10-24GB`.
+    pub profile: String,
+    /// GPU type consumed, e.g. `A10-24GB`.
+    pub gpu_type: String,
+    /// GPUs per pod.
+    pub gpus_per_pod: u32,
+    /// Pods needed to satisfy the tenant's SLA and load.
+    pub pods: u32,
+    /// Total hourly cost of the deployment.
+    pub cost_per_hour: f64,
+}
+
+impl DeploymentOption {
+    /// Total GPUs the option consumes.
+    pub fn gpus_needed(&self) -> u32 {
+        self.gpus_per_pod * self.pods
+    }
+}
+
+/// A tenant: a named service with its viable deployment options (already
+/// filtered to those satisfying its SLA, e.g. via LLM-Pilot's recommender).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tenant {
+    /// Service name.
+    pub name: String,
+    /// Viable deployments; an empty list means the tenant can never be
+    /// served.
+    pub options: Vec<DeploymentOption>,
+}
+
+/// The problem instance.
+#[derive(Debug, Clone)]
+pub struct PlacementProblem {
+    /// The shared inventory.
+    pub inventory: GpuInventory,
+    /// The competing tenants.
+    pub tenants: Vec<Tenant>,
+}
+
+/// A solver's answer: per tenant, the chosen option index (into
+/// `tenant.options`) or `None` when left unserved.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Placement {
+    /// `choices[i]` corresponds to `problem.tenants[i]`.
+    pub choices: Vec<Option<usize>>,
+}
+
+impl Placement {
+    /// Number of served tenants.
+    pub fn served(&self) -> usize {
+        self.choices.iter().filter(|c| c.is_some()).count()
+    }
+
+    /// Total hourly cost of the served tenants.
+    pub fn total_cost(&self, problem: &PlacementProblem) -> f64 {
+        self.choices
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|j| problem.tenants[i].options[j].cost_per_hour))
+            .sum()
+    }
+
+    /// Validate against the problem: every choice must exist and the GPU
+    /// usage must fit the inventory.
+    pub fn is_feasible(&self, problem: &PlacementProblem) -> bool {
+        if self.choices.len() != problem.tenants.len() {
+            return false;
+        }
+        let mut inventory = problem.inventory.clone();
+        for (i, choice) in self.choices.iter().enumerate() {
+            let Some(j) = choice else { continue };
+            let Some(option) = problem.tenants[i].options.get(*j) else {
+                return false;
+            };
+            if !inventory.take(&option.gpu_type, option.gpus_needed()) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Lexicographic objective: more served tenants first, then lower cost.
+    /// Returns `true` when `self` strictly beats `other`.
+    pub fn beats(&self, other: &Placement, problem: &PlacementProblem) -> bool {
+        match self.served().cmp(&other.served()) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => {
+                self.total_cost(problem) < other.total_cost(problem) - 1e-9
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn option(gpu: &str, per_pod: u32, pods: u32, cost: f64) -> DeploymentOption {
+        DeploymentOption {
+            profile: format!("{per_pod}x{gpu}"),
+            gpu_type: gpu.into(),
+            gpus_per_pod: per_pod,
+            pods,
+            cost_per_hour: cost,
+        }
+    }
+
+    fn problem() -> PlacementProblem {
+        PlacementProblem {
+            inventory: GpuInventory::from_counts([("A".into(), 4), ("B".into(), 2)]),
+            tenants: vec![
+                Tenant { name: "svc1".into(), options: vec![option("A", 1, 2, 2.0), option("B", 1, 1, 5.0)] },
+                Tenant { name: "svc2".into(), options: vec![option("A", 2, 2, 4.0)] },
+                Tenant { name: "svc3".into(), options: vec![] },
+            ],
+        }
+    }
+
+    #[test]
+    fn feasibility_checks_inventory() {
+        let p = problem();
+        // svc1 on A (2 GPUs) + svc2 on A (4 GPUs) = 6 > 4 available.
+        let bad = Placement { choices: vec![Some(0), Some(0), None] };
+        assert!(!bad.is_feasible(&p));
+        // svc1 on B (1 GPU) + svc2 on A (4 GPUs) fits.
+        let good = Placement { choices: vec![Some(1), Some(0), None] };
+        assert!(good.is_feasible(&p));
+        assert_eq!(good.served(), 2);
+        assert!((good.total_cost(&p) - 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn out_of_range_choice_is_infeasible() {
+        let p = problem();
+        let bad = Placement { choices: vec![Some(7), None, None] };
+        assert!(!bad.is_feasible(&p));
+        let wrong_len = Placement { choices: vec![None] };
+        assert!(!wrong_len.is_feasible(&p));
+    }
+
+    #[test]
+    fn lexicographic_objective() {
+        let p = problem();
+        let serve_both = Placement { choices: vec![Some(1), Some(0), None] }; // cost 9
+        let serve_one_cheap = Placement { choices: vec![Some(0), None, None] }; // cost 2
+        assert!(serve_both.beats(&serve_one_cheap, &p));
+        let serve_both_expensive = Placement { choices: vec![Some(1), Some(0), None] };
+        assert!(!serve_both.beats(&serve_both_expensive, &p)); // ties don't beat
+    }
+
+    #[test]
+    fn gpus_needed_multiplies() {
+        assert_eq!(option("A", 4, 3, 1.0).gpus_needed(), 12);
+    }
+}

@@ -1,0 +1,286 @@
+//! Placement solvers: a fast greedy heuristic with local improvement, and
+//! an exact branch-and-bound for small instances (used as the oracle in
+//! tests and to quantify the heuristic's gap).
+
+use crate::inventory::GpuInventory;
+use crate::problem::{Placement, PlacementProblem};
+
+/// Greedy placement: serve tenants in order of "desperation" (fewest
+/// viable options first, then largest minimum GPU need), picking each
+/// tenant's cheapest option that still fits; then a local-improvement pass
+/// re-checks cheaper options and tries to place unserved tenants.
+pub fn solve_greedy(problem: &PlacementProblem) -> Placement {
+    let n = problem.tenants.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&i| {
+        let t = &problem.tenants[i];
+        let min_gpus = t.options.iter().map(|o| o.gpus_needed()).min().unwrap_or(u32::MAX);
+        (t.options.len(), std::cmp::Reverse(min_gpus))
+    });
+
+    let mut inventory = problem.inventory.clone();
+    let mut choices: Vec<Option<usize>> = vec![None; n];
+
+    let place_cheapest = |i: usize, inventory: &mut GpuInventory| -> Option<usize> {
+        let t = &problem.tenants[i];
+        let mut best: Option<(usize, f64)> = None;
+        for (j, option) in t.options.iter().enumerate() {
+            if inventory.fits(&option.gpu_type, option.gpus_needed())
+                && best.map_or(true, |(_, c)| option.cost_per_hour < c)
+            {
+                best = Some((j, option.cost_per_hour));
+            }
+        }
+        let (j, _) = best?;
+        let option = &t.options[j];
+        assert!(inventory.take(&option.gpu_type, option.gpus_needed()));
+        Some(j)
+    };
+
+    for &i in &order {
+        choices[i] = place_cheapest(i, &mut inventory);
+    }
+
+    // Local improvement: for each served tenant, see whether switching to a
+    // cheaper option (with its own GPUs released) stays feasible; repeat
+    // until a fixed point, then retry unserved tenants.
+    let mut improved = true;
+    while improved {
+        improved = false;
+        for i in 0..n {
+            let Some(current) = choices[i] else { continue };
+            let current_option = &problem.tenants[i].options[current];
+            inventory.give_back(&current_option.gpu_type, current_option.gpus_needed());
+            let best = place_cheapest(i, &mut inventory).expect("current option still fits");
+            if problem.tenants[i].options[best].cost_per_hour
+                < current_option.cost_per_hour - 1e-9
+            {
+                improved = true;
+            }
+            choices[i] = Some(best);
+        }
+        for i in 0..n {
+            if choices[i].is_none() {
+                if let Some(j) = place_cheapest(i, &mut inventory) {
+                    choices[i] = Some(j);
+                    improved = true;
+                }
+            }
+        }
+    }
+
+    Placement { choices }
+}
+
+/// Exact branch-and-bound: explores option choices per tenant (including
+/// "unserved"), pruning on the lexicographic bound. Exponential — intended
+/// for small instances (≤ ~12 tenants with a handful of options each).
+pub fn solve_exact(problem: &PlacementProblem) -> Placement {
+    let n = problem.tenants.len();
+    let mut best = solve_greedy(problem); // warm start for pruning
+    let mut inventory = problem.inventory.clone();
+    let mut choices: Vec<Option<usize>> = vec![None; n];
+
+    fn recurse(
+        problem: &PlacementProblem,
+        idx: usize,
+        inventory: &mut GpuInventory,
+        choices: &mut Vec<Option<usize>>,
+        served: usize,
+        cost: f64,
+        best: &mut Placement,
+    ) {
+        let n = problem.tenants.len();
+        if idx == n {
+            let candidate = Placement { choices: choices.clone() };
+            if candidate.beats(best, problem) {
+                *best = candidate;
+            }
+            return;
+        }
+        // Bound: even serving every remaining tenant cannot beat `best`.
+        let optimistic_served = served + (n - idx);
+        let best_served = best.served();
+        if optimistic_served < best_served {
+            return;
+        }
+        if optimistic_served == best_served {
+            // Tying the served count requires serving *every* remaining
+            // tenant, so the final cost is at least `cost` plus each
+            // remaining tenant's cheapest option. A remaining tenant with
+            // no options makes the tie unreachable outright.
+            let mut min_rest = 0.0f64;
+            for i in idx..n {
+                let cheapest = problem.tenants[i]
+                    .options
+                    .iter()
+                    .map(|o| o.cost_per_hour)
+                    .fold(f64::INFINITY, f64::min);
+                if !cheapest.is_finite() {
+                    return;
+                }
+                min_rest += cheapest.max(0.0);
+            }
+            if cost + min_rest >= best.total_cost(problem) - 1e-9 {
+                return;
+            }
+        }
+
+        // Try each option (cheapest first) and the unserved branch.
+        let mut option_order: Vec<usize> = (0..problem.tenants[idx].options.len()).collect();
+        option_order.sort_by(|&a, &b| {
+            problem.tenants[idx].options[a]
+                .cost_per_hour
+                .partial_cmp(&problem.tenants[idx].options[b].cost_per_hour)
+                .expect("finite costs")
+        });
+        for j in option_order {
+            let option = &problem.tenants[idx].options[j];
+            if inventory.take(&option.gpu_type, option.gpus_needed()) {
+                choices[idx] = Some(j);
+                recurse(
+                    problem,
+                    idx + 1,
+                    inventory,
+                    choices,
+                    served + 1,
+                    cost + option.cost_per_hour,
+                    best,
+                );
+                inventory.give_back(&option.gpu_type, option.gpus_needed());
+                choices[idx] = None;
+            }
+        }
+        recurse(problem, idx + 1, inventory, choices, served, cost, best);
+    }
+
+    recurse(problem, 0, &mut inventory, &mut choices, 0, 0.0, &mut best);
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{DeploymentOption, Tenant};
+
+    fn option(gpu: &str, per_pod: u32, pods: u32, cost: f64) -> DeploymentOption {
+        DeploymentOption {
+            profile: format!("{per_pod}x{gpu}"),
+            gpu_type: gpu.into(),
+            gpus_per_pod: per_pod,
+            pods,
+            cost_per_hour: cost,
+        }
+    }
+
+    #[test]
+    fn greedy_serves_everyone_when_inventory_suffices() {
+        let problem = PlacementProblem {
+            inventory: GpuInventory::from_counts([("A".into(), 10)]),
+            tenants: (0..4)
+                .map(|i| Tenant {
+                    name: format!("svc{i}"),
+                    options: vec![option("A", 1, 2, 2.0)],
+                })
+                .collect(),
+        };
+        let placement = solve_greedy(&problem);
+        assert!(placement.is_feasible(&problem));
+        assert_eq!(placement.served(), 4);
+        assert!((placement.total_cost(&problem) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_respects_scarcity() {
+        // svc-picky can only use B; svc-flexible can use A or B. With one B,
+        // the picky tenant must get it.
+        let problem = PlacementProblem {
+            inventory: GpuInventory::from_counts([("A".into(), 2), ("B".into(), 1)]),
+            tenants: vec![
+                Tenant {
+                    name: "flexible".into(),
+                    options: vec![option("B", 1, 1, 1.0), option("A", 1, 2, 3.0)],
+                },
+                Tenant { name: "picky".into(), options: vec![option("B", 1, 1, 2.0)] },
+            ],
+        };
+        let placement = solve_greedy(&problem);
+        assert_eq!(placement.served(), 2, "{placement:?}");
+        assert!(placement.is_feasible(&problem));
+    }
+
+    #[test]
+    fn exact_matches_or_beats_greedy_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..30 {
+            let gpu_types = ["A", "B", "C"];
+            let inventory = GpuInventory::from_counts(
+                gpu_types.iter().map(|g| (g.to_string(), rng.random_range(1..8))),
+            );
+            let tenants: Vec<Tenant> = (0..rng.random_range(2..6))
+                .map(|i| Tenant {
+                    name: format!("t{i}"),
+                    options: (0..rng.random_range(1..4usize))
+                        .map(|_| {
+                            let gpu = gpu_types[rng.random_range(0..3)];
+                            option(
+                                gpu,
+                                rng.random_range(1..3),
+                                rng.random_range(1..4),
+                                f64::from(rng.random_range(1..20u32)),
+                            )
+                        })
+                        .collect(),
+                })
+                .collect();
+            let problem = PlacementProblem { inventory, tenants };
+            let greedy = solve_greedy(&problem);
+            let exact = solve_exact(&problem);
+            assert!(greedy.is_feasible(&problem));
+            assert!(exact.is_feasible(&problem));
+            assert!(
+                !greedy.beats(&exact, &problem),
+                "greedy beat exact: {greedy:?} vs {exact:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_finds_the_cost_optimum() {
+        // Two tenants, shared scarce GPU: the optimum serves both by putting
+        // the flexible tenant on its pricier option.
+        let problem = PlacementProblem {
+            inventory: GpuInventory::from_counts([("A".into(), 1), ("B".into(), 4)]),
+            tenants: vec![
+                Tenant {
+                    name: "flex".into(),
+                    options: vec![option("A", 1, 1, 1.0), option("B", 2, 2, 6.0)],
+                },
+                Tenant { name: "fixed".into(), options: vec![option("A", 1, 1, 2.0)] },
+            ],
+        };
+        let exact = solve_exact(&problem);
+        assert_eq!(exact.served(), 2);
+        assert!((exact.total_cost(&problem) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unservable_tenants_stay_unserved() {
+        let problem = PlacementProblem {
+            inventory: GpuInventory::from_counts([("A".into(), 1)]),
+            tenants: vec![
+                Tenant { name: "impossible".into(), options: vec![] },
+                Tenant { name: "huge".into(), options: vec![option("A", 1, 99, 1.0)] },
+                Tenant { name: "ok".into(), options: vec![option("A", 1, 1, 1.0)] },
+            ],
+        };
+        for placement in [solve_greedy(&problem), solve_exact(&problem)] {
+            assert_eq!(placement.served(), 1);
+            assert_eq!(placement.choices[0], None);
+            assert_eq!(placement.choices[1], None);
+            assert_eq!(placement.choices[2], Some(0));
+        }
+    }
+}

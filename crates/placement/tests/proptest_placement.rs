@@ -1,0 +1,67 @@
+//! Property-based invariants of the placement solvers.
+
+use proptest::prelude::*;
+
+use llmpilot_placement::{
+    solve_exact, solve_greedy, DeploymentOption, GpuInventory, PlacementProblem, Tenant,
+};
+
+fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
+    let gpu_types = ["A", "B", "C"];
+    let inventory = prop::collection::vec(0u32..6, 3).prop_map(move |counts| {
+        GpuInventory::from_counts(
+            gpu_types.iter().zip(&counts).map(|(g, &c)| (g.to_string(), c)),
+        )
+    });
+    let option = (0usize..3, 1u32..3, 1u32..4, 1u32..20).prop_map(move |(g, per, pods, cost)| {
+        DeploymentOption {
+            profile: format!("{per}x{}", gpu_types[g]),
+            gpu_type: gpu_types[g].to_string(),
+            gpus_per_pod: per,
+            pods,
+            cost_per_hour: f64::from(cost),
+        }
+    });
+    let tenants = prop::collection::vec(
+        prop::collection::vec(option, 0..4)
+            .prop_map(|options| Tenant { name: "t".into(), options }),
+        1..5,
+    );
+    (inventory, tenants)
+        .prop_map(|(inventory, tenants)| PlacementProblem { inventory, tenants })
+}
+
+proptest! {
+    /// Both solvers always return feasible placements, and the exact solver
+    /// is never beaten by the greedy heuristic.
+    #[test]
+    fn solvers_are_feasible_and_exact_dominates(problem in arb_problem()) {
+        let greedy = solve_greedy(&problem);
+        let exact = solve_exact(&problem);
+        prop_assert!(greedy.is_feasible(&problem));
+        prop_assert!(exact.is_feasible(&problem));
+        prop_assert!(!greedy.beats(&exact, &problem));
+        // Costs are non-negative and served counts bounded.
+        prop_assert!(greedy.total_cost(&problem) >= 0.0);
+        prop_assert!(exact.served() <= problem.tenants.len());
+    }
+
+    /// Growing the inventory never hurts: the exact solution on a larger
+    /// inventory serves at least as many tenants at no greater cost for the
+    /// same served count.
+    #[test]
+    fn more_inventory_never_hurts(problem in arb_problem(), extra in 1u32..4) {
+        let exact_small = solve_exact(&problem);
+        let mut bigger = problem.clone();
+        bigger.inventory.add("A", extra);
+        bigger.inventory.add("B", extra);
+        bigger.inventory.add("C", extra);
+        let exact_big = solve_exact(&bigger);
+        prop_assert!(exact_big.served() >= exact_small.served());
+        if exact_big.served() == exact_small.served() {
+            prop_assert!(
+                exact_big.total_cost(&bigger) <= exact_small.total_cost(&problem) + 1e-9
+            );
+        }
+    }
+}

@@ -1,0 +1,681 @@
+//! Continuous-batching inference engine (one pod), simulated in virtual time.
+//!
+//! The engine reproduces the iteration-level scheduling of TGIS/vLLM-style
+//! servers (Sec. II-B): a single running batch is maintained; whenever
+//! requests finish, new requests are admitted from the FIFO queue as long as
+//! the *maximum batch weight* — the total number of input and output tokens
+//! of all requests in the batch — stays within the tuned limit. Admitted
+//! requests run their (compute-bound) prompt processing and emit their first
+//! token; every previously running sequence advances by one token per
+//! iteration at the (bandwidth-bound) decode step cost.
+//!
+//! The engine is a sequential event loop over `f64` virtual seconds — "2
+//! minutes" of load testing complete in milliseconds of CPU time, and pods
+//! parallelize across threads at a higher level (see [`crate::cluster`]).
+
+use std::collections::VecDeque;
+
+use crate::error::SimError;
+use crate::memory::MemoryModel;
+use crate::perf_model::PerfModel;
+use crate::request::RequestSpec;
+
+/// Identifier of a request within one engine's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub u64);
+
+/// One token-emission event: at `time`, request `id` received `count`
+/// tokens (one per sequence of its client-side batch).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenEmission {
+    /// Which request the tokens belong to.
+    pub id: RequestId,
+    /// Virtual time of arrival at the client.
+    pub time: f64,
+    /// Number of tokens emitted (the request's batch size).
+    pub count: u32,
+    /// Whether this is the request's first output token (end of prompt
+    /// processing).
+    pub is_first: bool,
+}
+
+/// A request-completion event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Completion {
+    /// Which request completed.
+    pub id: RequestId,
+    /// Virtual completion time.
+    pub time: f64,
+    /// When the request was submitted.
+    pub submitted_at: f64,
+    /// The completed request.
+    pub spec: RequestSpec,
+}
+
+/// Result of one engine iteration.
+#[derive(Debug, Clone, Default)]
+pub struct StepResult {
+    /// Tokens emitted during the iteration.
+    pub emissions: Vec<TokenEmission>,
+    /// Requests that finished at the end of the iteration.
+    pub completions: Vec<Completion>,
+}
+
+/// How the engine charges requests against the maximum batch weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AdmissionPolicy {
+    /// TGIS-style: an admitted request reserves its *full-lifetime* weight
+    /// (all input + output tokens), so the batch can never outgrow memory —
+    /// the policy the paper's maximum batch weight governs (Sec. II-B).
+    #[default]
+    ReserveFull,
+    /// vLLM-style paged KV cache: requests are charged only for the tokens
+    /// *currently* cached; admission is optimistic, and when the cache
+    /// overflows the newest request is preempted back to the queue and its
+    /// generated tokens are recomputed on re-admission (recompute
+    /// preemption).
+    PagedCurrent,
+}
+
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    id: RequestId,
+    spec: RequestSpec,
+    submitted_at: f64,
+    /// Output tokens already generated before a preemption (0 for fresh
+    /// requests); recomputed on re-admission without re-emission.
+    generated: u32,
+}
+
+#[derive(Debug, Clone)]
+struct RunningRequest {
+    id: RequestId,
+    spec: RequestSpec,
+    submitted_at: f64,
+    /// Output tokens generated so far per sequence.
+    generated: u32,
+}
+
+impl RunningRequest {
+    /// KV-cache tokens currently held by this request.
+    fn kv_tokens(&self) -> u64 {
+        u64::from(self.spec.batch_size) * (u64::from(self.spec.input_tokens) + u64::from(self.generated))
+    }
+}
+
+/// Continuous-batching engine for one pod.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    perf: PerfModel,
+    max_batch_weight: u64,
+    policy: AdmissionPolicy,
+    clock: f64,
+    next_id: u64,
+    queue: VecDeque<QueuedRequest>,
+    running: Vec<RunningRequest>,
+    /// Cached Σ weight of running requests (full reservation).
+    running_weight: u64,
+    total_tokens_emitted: u64,
+    preemptions: u64,
+}
+
+impl Engine {
+    /// Create an engine for the given performance model with a tuned maximum
+    /// batch weight (in tokens).
+    pub fn new(perf: PerfModel, max_batch_weight: u64) -> Self {
+        Self {
+            perf,
+            max_batch_weight,
+            policy: AdmissionPolicy::ReserveFull,
+            clock: 0.0,
+            next_id: 0,
+            queue: VecDeque::new(),
+            running: Vec::new(),
+            running_weight: 0,
+            total_tokens_emitted: 0,
+            preemptions: 0,
+        }
+    }
+
+    /// Switch the admission policy (builder style). The engine must be
+    /// empty.
+    pub fn with_policy(mut self, policy: AdmissionPolicy) -> Self {
+        assert!(!self.has_work(), "cannot change policy with work in flight");
+        self.policy = policy;
+        self
+    }
+
+    /// The active admission policy.
+    pub fn policy(&self) -> AdmissionPolicy {
+        self.policy
+    }
+
+    /// Number of preemptions performed so far (paged policy only).
+    pub fn preemptions(&self) -> u64 {
+        self.preemptions
+    }
+
+    /// KV tokens currently cached by the running batch.
+    pub fn current_kv_tokens(&self) -> u64 {
+        self.running.iter().map(|r| r.kv_tokens()).sum()
+    }
+
+    /// Convenience constructor: derive the maximum batch weight bound from a
+    /// memory model (the *untuned* analytic bound; production use runs
+    /// [`crate::tuner::tune_max_batch_weight`] instead).
+    pub fn with_memory_bound(perf: PerfModel, mem: &MemoryModel) -> Self {
+        Self::new(perf, mem.max_batch_weight_bound())
+    }
+
+    /// Current virtual time, seconds.
+    pub fn clock(&self) -> f64 {
+        self.clock
+    }
+
+    /// The tuned maximum batch weight, tokens.
+    pub fn max_batch_weight(&self) -> u64 {
+        self.max_batch_weight
+    }
+
+    /// Number of requests waiting in the queue.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of requests in the running batch.
+    pub fn running_len(&self) -> usize {
+        self.running.len()
+    }
+
+    /// Σ weight of the running batch, tokens.
+    pub fn running_weight(&self) -> u64 {
+        self.running_weight
+    }
+
+    /// Total output tokens emitted since construction.
+    pub fn total_tokens_emitted(&self) -> u64 {
+        self.total_tokens_emitted
+    }
+
+    /// Whether any request is queued or running.
+    pub fn has_work(&self) -> bool {
+        !self.queue.is_empty() || !self.running.is_empty()
+    }
+
+    /// Move the clock forward to `t` (used when the engine idles between
+    /// submissions). Moving backwards is a no-op.
+    pub fn advance_to(&mut self, t: f64) {
+        if t > self.clock {
+            self.clock = t;
+        }
+    }
+
+    /// Submit a request at the current clock. Fails if the request could
+    /// never be admitted under the configured maximum batch weight.
+    pub fn submit(&mut self, spec: RequestSpec) -> Result<RequestId, SimError> {
+        if spec.input_tokens == 0 || spec.output_tokens == 0 || spec.batch_size == 0 {
+            return Err(SimError::InvalidRequest {
+                reason: "input/output tokens and batch size must be >= 1".into(),
+            });
+        }
+        if spec.weight() > self.max_batch_weight {
+            return Err(SimError::RequestTooLarge {
+                weight: spec.weight(),
+                max_batch_weight: self.max_batch_weight,
+            });
+        }
+        let id = RequestId(self.next_id);
+        self.next_id += 1;
+        self.queue
+            .push_back(QueuedRequest { id, spec, submitted_at: self.clock, generated: 0 });
+        Ok(id)
+    }
+
+    /// Admit queued requests (FIFO, head-of-line blocking like TGIS) while
+    /// they fit under the maximum batch weight. Returns the newly admitted
+    /// requests.
+    fn admit(&mut self) -> Vec<RunningRequest> {
+        let mut admitted = Vec::new();
+        // Paged admission charges only what the request will cache *now*:
+        // prompt (+ any recomputed progress) plus its next token.
+        let mut paged_tokens = self.current_kv_tokens();
+        while let Some(front) = self.queue.front() {
+            let fits = match self.policy {
+                AdmissionPolicy::ReserveFull => {
+                    self.running_weight + front.spec.weight() <= self.max_batch_weight
+                }
+                AdmissionPolicy::PagedCurrent => {
+                    let immediate = u64::from(front.spec.batch_size)
+                        * (u64::from(front.spec.input_tokens) + u64::from(front.generated) + 1);
+                    paged_tokens + immediate <= self.max_batch_weight
+                }
+            };
+            if !fits {
+                break;
+            }
+            let q = self.queue.pop_front().expect("front exists");
+            self.running_weight += q.spec.weight();
+            paged_tokens += u64::from(q.spec.batch_size)
+                * (u64::from(q.spec.input_tokens) + u64::from(q.generated) + 1);
+            admitted.push(RunningRequest {
+                id: q.id,
+                spec: q.spec,
+                submitted_at: q.submitted_at,
+                generated: q.generated,
+            });
+        }
+        admitted
+    }
+
+    /// Paged policy: when the cache outgrows the budget, preempt the newest
+    /// running requests back to the queue front (recompute preemption: their
+    /// progress is kept but will be re-prefetched, not re-emitted).
+    fn preempt_overflow(&mut self) {
+        while self.current_kv_tokens() > self.max_batch_weight && self.running.len() > 1 {
+            // Newest = highest request id among running (vLLM preempts the
+            // most recently scheduled sequence group).
+            let newest = self
+                .running
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.id)
+                .map(|(i, _)| i)
+                .expect("running nonempty");
+            let victim = self.running.swap_remove(newest);
+            self.running_weight -= victim.spec.weight();
+            self.preemptions += 1;
+            self.queue.push_front(QueuedRequest {
+                id: victim.id,
+                spec: victim.spec,
+                submitted_at: victim.submitted_at,
+                generated: victim.generated,
+            });
+        }
+    }
+
+    /// Run one engine iteration: admit from the queue, run prompt processing
+    /// for admitted requests, advance every running sequence by one token,
+    /// and retire completed requests.
+    ///
+    /// Returns an empty [`StepResult`] without advancing time when there is
+    /// no work.
+    pub fn step(&mut self) -> StepResult {
+        let mut result = StepResult::default();
+        if !self.has_work() {
+            return result;
+        }
+
+        let admitted = self.admit();
+
+        // Decode cost for the sequences that were already running.
+        let old_seqs: u32 = self.running.iter().map(|r| r.spec.batch_size).sum();
+        let kv_tokens: u64 = self.running.iter().map(|r| r.kv_tokens()).sum::<u64>()
+            + admitted.iter().map(|r| r.kv_tokens()).sum::<u64>();
+        let mut step_time = if old_seqs > 0 {
+            self.perf.decode_step_time(old_seqs, kv_tokens)
+        } else {
+            0.0
+        };
+        // Prompt-processing cost of every admitted request (its sequences
+        // prefill together; cost is linear in the number of sequences).
+        // Recomputed (preempted) requests re-prefill their prompt plus the
+        // tokens already generated.
+        for r in &admitted {
+            step_time += self.perf.prefill_time(r.spec.input_tokens + r.generated)
+                * r.spec.batch_size as f64;
+        }
+        let now = self.clock + step_time;
+        self.clock = now;
+
+        // Previously running sequences each produce one decode token.
+        for r in &mut self.running {
+            r.generated += 1;
+            result.emissions.push(TokenEmission {
+                id: r.id,
+                time: now,
+                count: r.spec.batch_size,
+                is_first: false,
+            });
+            self.total_tokens_emitted += u64::from(r.spec.batch_size);
+        }
+        // Admitted requests produce their next token out of prefill: the
+        // *first* token for fresh requests; recomputed requests resume
+        // emitting where they left off.
+        for mut r in admitted {
+            let is_first = r.generated == 0;
+            r.generated += 1;
+            result.emissions.push(TokenEmission {
+                id: r.id,
+                time: now,
+                count: r.spec.batch_size,
+                is_first,
+            });
+            self.total_tokens_emitted += u64::from(r.spec.batch_size);
+            self.running.push(r);
+        }
+
+        // Retire completed requests and free their weight.
+        let mut i = 0;
+        while i < self.running.len() {
+            if self.running[i].generated >= self.running[i].spec.output_tokens {
+                let done = self.running.swap_remove(i);
+                self.running_weight -= done.spec.weight();
+                result.completions.push(Completion {
+                    id: done.id,
+                    time: now,
+                    submitted_at: done.submitted_at,
+                    spec: done.spec,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        if self.policy == AdmissionPolicy::PagedCurrent {
+            self.preempt_overflow();
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gpu::{a100_80, GpuProfile};
+    use crate::llm::llama2_13b;
+    use crate::perf_model::{PerfModel, PerfModelConfig};
+
+    fn engine(max_weight: u64) -> Engine {
+        let perf = PerfModel::new(
+            llama2_13b(),
+            GpuProfile::new(a100_80(), 1),
+            PerfModelConfig::default(),
+        );
+        Engine::new(perf, max_weight)
+    }
+
+    #[test]
+    fn single_request_runs_to_completion() {
+        let mut e = engine(100_000);
+        let id = e.submit(RequestSpec::new(100, 5)).unwrap();
+        let mut first_seen = false;
+        let mut tokens = 0;
+        let mut completed = false;
+        while e.has_work() {
+            let r = e.step();
+            for em in &r.emissions {
+                assert_eq!(em.id, id);
+                if em.is_first {
+                    assert!(!first_seen);
+                    first_seen = true;
+                }
+                tokens += em.count;
+            }
+            for c in &r.completions {
+                assert_eq!(c.id, id);
+                completed = true;
+            }
+        }
+        assert!(first_seen);
+        assert!(completed);
+        assert_eq!(tokens, 5);
+        assert_eq!(e.total_tokens_emitted(), 5);
+        assert_eq!(e.running_weight(), 0);
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut e = engine(100_000);
+        e.submit(RequestSpec::new(50, 10)).unwrap();
+        e.submit(RequestSpec::new(200, 3)).unwrap();
+        let mut last = 0.0;
+        while e.has_work() {
+            e.step();
+            assert!(e.clock() >= last);
+            last = e.clock();
+        }
+        assert!(last > 0.0);
+    }
+
+    #[test]
+    fn admission_respects_max_batch_weight() {
+        // Two requests of weight 150 with a cap of 200: the second must wait
+        // until the first completes.
+        let mut e = engine(200);
+        e.submit(RequestSpec::new(100, 50)).unwrap();
+        e.submit(RequestSpec::new(100, 50)).unwrap();
+        let r = e.step();
+        assert_eq!(r.emissions.len(), 1);
+        assert_eq!(e.running_len(), 1);
+        assert_eq!(e.queue_len(), 1);
+        assert_eq!(e.running_weight(), 150);
+        // Drain the first request.
+        while e.running_len() == 1 && e.queue_len() == 1 {
+            e.step();
+        }
+        // After the first completes, the second gets admitted.
+        assert!(e.has_work());
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let mut e = engine(100);
+        let err = e.submit(RequestSpec::new(100, 50)).unwrap_err();
+        assert!(matches!(err, SimError::RequestTooLarge { .. }));
+    }
+
+    #[test]
+    fn degenerate_request_is_rejected() {
+        let mut e = engine(1000);
+        assert!(e.submit(RequestSpec::new(0, 5)).is_err());
+        assert!(e.submit(RequestSpec::new(5, 0)).is_err());
+        assert!(e.submit(RequestSpec::batched(5, 5, 0)).is_err());
+    }
+
+    #[test]
+    fn higher_batch_weight_reduces_e2e_latency_under_load() {
+        // The Fig. 1 phenomenon: with many concurrent requests, a larger
+        // maximum batch weight lowers end-to-end latency by cutting queueing.
+        let run = |weight: u64| -> f64 {
+            let mut e = engine(weight);
+            let mut ids = Vec::new();
+            for _ in 0..32 {
+                ids.push(e.submit(RequestSpec::new(300, 100)).unwrap());
+            }
+            let mut done = 0;
+            let mut total = 0.0;
+            while e.has_work() {
+                let r = e.step();
+                for c in r.completions {
+                    total += c.time - c.submitted_at;
+                    done += 1;
+                }
+            }
+            assert_eq!(done, 32);
+            total / 32.0
+        };
+        let small = run(800);
+        let large = run(32 * 400);
+        assert!(
+            large < small,
+            "large-weight latency {large} should beat small-weight {small}"
+        );
+    }
+
+    #[test]
+    fn batched_request_emits_batch_size_tokens_per_step() {
+        let mut e = engine(100_000);
+        e.submit(RequestSpec::batched(50, 4, 3)).unwrap();
+        let mut tokens = 0;
+        while e.has_work() {
+            let r = e.step();
+            tokens += r.emissions.iter().map(|em| em.count).sum::<u32>();
+        }
+        assert_eq!(tokens, 12);
+    }
+
+    #[test]
+    fn fifo_order_is_preserved() {
+        let mut e = engine(160);
+        let a = e.submit(RequestSpec::new(100, 50)).unwrap();
+        let b = e.submit(RequestSpec::new(100, 50)).unwrap();
+        let c = e.submit(RequestSpec::new(100, 50)).unwrap();
+        let mut completion_order = Vec::new();
+        while e.has_work() {
+            for done in e.step().completions {
+                completion_order.push(done.id);
+            }
+        }
+        assert_eq!(completion_order, vec![a, b, c]);
+    }
+
+    #[test]
+    fn advance_to_never_moves_backwards() {
+        let mut e = engine(1000);
+        e.advance_to(5.0);
+        assert_eq!(e.clock(), 5.0);
+        e.advance_to(2.0);
+        assert_eq!(e.clock(), 5.0);
+    }
+
+    #[test]
+    fn step_without_work_is_inert() {
+        let mut e = engine(1000);
+        let r = e.step();
+        assert!(r.emissions.is_empty());
+        assert!(r.completions.is_empty());
+        assert_eq!(e.clock(), 0.0);
+    }
+
+    #[test]
+    fn deeper_queue_increases_waiting_time() {
+        // TTFT of the last request grows when more requests are in front of
+        // it (queueing time, Sec. II-B).
+        let ttft_of_last = |n: usize| -> f64 {
+            let mut e = engine(600);
+            let mut last = RequestId(0);
+            for _ in 0..n {
+                last = e.submit(RequestSpec::new(300, 100)).unwrap();
+            }
+            loop {
+                let r = e.step();
+                if let Some(em) = r.emissions.iter().find(|em| em.id == last && em.is_first) {
+                    return em.time;
+                }
+                assert!(e.has_work());
+            }
+        };
+        assert!(ttft_of_last(8) > ttft_of_last(2));
+    }
+}
+
+#[cfg(test)]
+mod paged_tests {
+    use super::*;
+    use crate::gpu::{a100_80, GpuProfile};
+    use crate::llm::llama2_13b;
+    use crate::perf_model::{PerfModel, PerfModelConfig};
+
+    fn engine(max_weight: u64, policy: AdmissionPolicy) -> Engine {
+        let perf = PerfModel::new(
+            llama2_13b(),
+            GpuProfile::new(a100_80(), 1),
+            PerfModelConfig::default(),
+        );
+        Engine::new(perf, max_weight).with_policy(policy)
+    }
+
+    /// Drain an engine, returning (tokens, firsts, completions, clock).
+    fn drain(e: &mut Engine) -> (u64, usize, usize, f64) {
+        let (mut tokens, mut firsts, mut completions) = (0u64, 0usize, 0usize);
+        while e.has_work() {
+            let r = e.step();
+            tokens += r.emissions.iter().map(|em| u64::from(em.count)).sum::<u64>();
+            firsts += r.emissions.iter().filter(|em| em.is_first).count();
+            completions += r.completions.len();
+        }
+        (tokens, firsts, completions, e.clock())
+    }
+
+    #[test]
+    fn paged_conserves_tokens_under_preemption() {
+        // Cache holds ~1200 tokens; four requests of 300+300 would reserve
+        // 2400 under ReserveFull but run (with preemptions) under paging.
+        let mut e = engine(1_200, AdmissionPolicy::PagedCurrent);
+        for _ in 0..4 {
+            e.submit(RequestSpec::new(300, 300)).unwrap();
+        }
+        let (tokens, firsts, completions, _) = drain(&mut e);
+        assert_eq!(tokens, 4 * 300);
+        assert_eq!(firsts, 4, "is_first must fire once per request");
+        assert_eq!(completions, 4);
+        assert!(e.preemptions() > 0, "cache overflow should trigger preemption");
+    }
+
+    #[test]
+    fn paged_admits_more_concurrency_than_reservation() {
+        // Same budget: full reservation admits 2 requests (2x600=1200 <=
+        // 1300); paging starts all 4 (4x301 = 1204 up front).
+        let mut reserve = engine(1_300, AdmissionPolicy::ReserveFull);
+        let mut paged = engine(1_300, AdmissionPolicy::PagedCurrent);
+        for e in [&mut reserve, &mut paged] {
+            for _ in 0..4 {
+                e.submit(RequestSpec::new(300, 300)).unwrap();
+            }
+        }
+        reserve.step();
+        paged.step();
+        assert_eq!(reserve.running_len(), 2);
+        assert_eq!(paged.running_len(), 4);
+    }
+
+    #[test]
+    fn reserve_full_never_preempts() {
+        let mut e = engine(5_000, AdmissionPolicy::ReserveFull);
+        for _ in 0..10 {
+            e.submit(RequestSpec::new(200, 200)).unwrap();
+        }
+        drain(&mut e);
+        assert_eq!(e.preemptions(), 0);
+    }
+
+    #[test]
+    fn paged_without_pressure_behaves_like_reservation() {
+        let spec = RequestSpec::new(100, 50);
+        let mut a = engine(1_000_000, AdmissionPolicy::ReserveFull);
+        let mut b = engine(1_000_000, AdmissionPolicy::PagedCurrent);
+        for e in [&mut a, &mut b] {
+            for _ in 0..5 {
+                e.submit(spec).unwrap();
+            }
+        }
+        let (ta, fa, ca, clock_a) = drain(&mut a);
+        let (tb, fb, cb, clock_b) = drain(&mut b);
+        assert_eq!((ta, fa, ca), (tb, fb, cb));
+        assert!((clock_a - clock_b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn preempted_requests_still_complete_in_order_of_recovery() {
+        let mut e = engine(900, AdmissionPolicy::PagedCurrent);
+        let ids: Vec<RequestId> =
+            (0..3).map(|_| e.submit(RequestSpec::new(200, 250)).unwrap()).collect();
+        let mut done = Vec::new();
+        while e.has_work() {
+            for c in e.step().completions {
+                done.push(c.id);
+            }
+        }
+        assert_eq!(done.len(), 3);
+        for id in ids {
+            assert!(done.contains(&id));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot change policy")]
+    fn policy_change_with_work_panics() {
+        let mut e = engine(10_000, AdmissionPolicy::ReserveFull);
+        e.submit(RequestSpec::new(10, 10)).unwrap();
+        let _ = e.with_policy(AdmissionPolicy::PagedCurrent);
+    }
+}

@@ -1,0 +1,420 @@
+//! GPU hardware descriptions and the catalog of GPU types used in the paper.
+//!
+//! A [`GpuSpec`] carries the architectural features the GPU recommendation
+//! tool consumes (Sec. IV-B-1 of the paper), plus the figures the performance
+//! model needs (memory capacity, memory bandwidth, peak FP16 throughput, and
+//! interconnect). A [`GpuProfile`] is the paper's deployment unit: a number of
+//! GPUs of one type assigned to a single pod, sharded tensor-parallel.
+
+use std::fmt;
+
+/// GPU micro-architecture generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GpuArch {
+    /// Volta (V100), compute capability 7.0.
+    Volta,
+    /// Turing (T4), compute capability 7.5.
+    Turing,
+    /// Ampere (A100, A10), compute capability 8.x.
+    Ampere,
+    /// Hopper (H100), compute capability 9.0.
+    Hopper,
+}
+
+impl GpuArch {
+    /// Numeric code used as an ordinal ML feature (newer arch → larger code).
+    pub fn code(self) -> u8 {
+        match self {
+            GpuArch::Volta => 0,
+            GpuArch::Turing => 1,
+            GpuArch::Ampere => 2,
+            GpuArch::Hopper => 3,
+        }
+    }
+}
+
+/// Physical form factor; SXM parts have higher power/bandwidth envelopes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FormFactor {
+    /// Socketed mezzanine module (NVLink-capable boards).
+    Sxm,
+    /// PCIe add-in card.
+    Pcie,
+}
+
+/// Static description of one GPU type.
+///
+/// All throughput figures are *peak datasheet* numbers; the performance model
+/// derates them with empirical efficiency factors (see
+/// [`crate::perf_model::PerfModelConfig`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuSpec {
+    /// Marketing name, e.g. `"A100-40GB"`. Unique within a catalog.
+    pub name: &'static str,
+    /// On-board memory in GiB.
+    pub memory_gib: f64,
+    /// Peak memory bandwidth in GB/s.
+    pub memory_bandwidth_gbps: f64,
+    /// Peak dense FP16 tensor-core throughput in TFLOPS.
+    pub fp16_tflops: f64,
+    /// Peak FP32 (non-tensor) throughput in TFLOPS; used as an ML feature.
+    pub fp32_tflops: f64,
+    /// Micro-architecture generation.
+    pub arch: GpuArch,
+    /// CUDA compute capability, e.g. `8.0` for A100.
+    pub compute_capability: f64,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Number of CUDA cores.
+    pub cuda_cores: u32,
+    /// Number of tensor cores.
+    pub tensor_cores: u32,
+    /// Number of RT cores (0 for data-center parts without RT).
+    pub rt_cores: u32,
+    /// Texture mapping units.
+    pub texture_units: u32,
+    /// Raster operation pipelines.
+    pub rops: u32,
+    /// PCIe interface generation (3, 4 or 5).
+    pub pcie_gen: u8,
+    /// Whether GPUs of this type in one pod are linked with NVLink.
+    pub nvlink: bool,
+    /// NVLink aggregate bandwidth in GB/s (0 if `nvlink` is false).
+    pub nvlink_bandwidth_gbps: f64,
+    /// Form factor.
+    pub form_factor: FormFactor,
+    /// On-demand cost per GPU-hour in USD (amortized from AWS instance
+    /// pricing; users may substitute their own cost table).
+    pub cost_per_hour: f64,
+}
+
+impl GpuSpec {
+    /// Memory capacity in bytes.
+    pub fn memory_bytes(&self) -> f64 {
+        self.memory_gib * 1024.0 * 1024.0 * 1024.0
+    }
+
+    /// Whether this GPU can run flash attention (requires compute capability
+    /// ≥ 7.5, i.e. Turing or newer; the paper notes TGIS could not deploy
+    /// flash-attention LLMs on V100s "because of insufficient CUDA
+    /// capability").
+    pub fn supports_flash_attention(&self) -> bool {
+        self.compute_capability >= 7.5
+    }
+
+    /// Effective inter-GPU bandwidth for tensor-parallel collectives, GB/s.
+    ///
+    /// NVLink parts use the NVLink fabric; PCIe-only parts are limited by the
+    /// PCIe link (≈2 GB/s per lane-GB for gen4 x16 ≈ 32 GB/s full duplex).
+    pub fn interconnect_bandwidth_gbps(&self) -> f64 {
+        if self.nvlink {
+            self.nvlink_bandwidth_gbps
+        } else {
+            match self.pcie_gen {
+                0..=3 => 16.0,
+                4 => 32.0,
+                _ => 64.0,
+            }
+        }
+    }
+}
+
+/// The paper's deployment unit: `count` GPUs of one `gpu` type per pod,
+/// with the LLM sharded across them in a tensor-parallel manner.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuProfile {
+    /// GPU type.
+    pub gpu: GpuSpec,
+    /// Number of GPUs assigned to the pod (1, 2 or 4 in the paper).
+    pub count: u32,
+}
+
+impl GpuProfile {
+    /// Create a profile of `count` GPUs of the given type.
+    pub fn new(gpu: GpuSpec, count: u32) -> Self {
+        assert!(count >= 1, "a GPU profile needs at least one GPU");
+        Self { gpu, count }
+    }
+
+    /// Canonical display name, e.g. `"2xA100-40GB"`.
+    pub fn name(&self) -> String {
+        format!("{}x{}", self.count, self.gpu.name)
+    }
+
+    /// Aggregate memory across all GPUs of the pod, bytes.
+    pub fn total_memory_bytes(&self) -> f64 {
+        self.gpu.memory_bytes() * self.count as f64
+    }
+
+    /// Pod cost per hour: GPUs are priced individually.
+    pub fn cost_per_hour(&self) -> f64 {
+        self.gpu.cost_per_hour * self.count as f64
+    }
+}
+
+impl fmt::Display for GpuProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+/// NVIDIA H100 80GB SXM5 (Hopper).
+pub fn h100() -> GpuSpec {
+    GpuSpec {
+        name: "H100-80GB",
+        memory_gib: 80.0,
+        memory_bandwidth_gbps: 3350.0,
+        fp16_tflops: 989.0,
+        fp32_tflops: 67.0,
+        arch: GpuArch::Hopper,
+        compute_capability: 9.0,
+        sm_count: 132,
+        cuda_cores: 16896,
+        tensor_cores: 528,
+        rt_cores: 0,
+        texture_units: 528,
+        rops: 24,
+        pcie_gen: 5,
+        nvlink: true,
+        nvlink_bandwidth_gbps: 900.0,
+        form_factor: FormFactor::Sxm,
+        cost_per_hour: 12.29, // p5.48xlarge / 8
+    }
+}
+
+/// NVIDIA A100 80GB SXM4 (Ampere).
+pub fn a100_80() -> GpuSpec {
+    GpuSpec {
+        name: "A100-80GB",
+        memory_gib: 80.0,
+        memory_bandwidth_gbps: 2039.0,
+        fp16_tflops: 312.0,
+        fp32_tflops: 19.5,
+        arch: GpuArch::Ampere,
+        compute_capability: 8.0,
+        sm_count: 108,
+        cuda_cores: 6912,
+        tensor_cores: 432,
+        rt_cores: 0,
+        texture_units: 432,
+        rops: 160,
+        pcie_gen: 4,
+        nvlink: true,
+        nvlink_bandwidth_gbps: 600.0,
+        form_factor: FormFactor::Sxm,
+        cost_per_hour: 5.12, // p4de.24xlarge / 8
+    }
+}
+
+/// NVIDIA A100 40GB SXM4 (Ampere).
+pub fn a100_40() -> GpuSpec {
+    GpuSpec {
+        name: "A100-40GB",
+        memory_gib: 40.0,
+        memory_bandwidth_gbps: 1555.0,
+        fp16_tflops: 312.0,
+        fp32_tflops: 19.5,
+        arch: GpuArch::Ampere,
+        compute_capability: 8.0,
+        sm_count: 108,
+        cuda_cores: 6912,
+        tensor_cores: 432,
+        rt_cores: 0,
+        texture_units: 432,
+        rops: 160,
+        pcie_gen: 4,
+        nvlink: true,
+        nvlink_bandwidth_gbps: 600.0,
+        form_factor: FormFactor::Sxm,
+        cost_per_hour: 4.10, // p4d.24xlarge / 8
+    }
+}
+
+/// NVIDIA A10G 24GB (Ampere, PCIe).
+pub fn a10() -> GpuSpec {
+    GpuSpec {
+        name: "A10-24GB",
+        memory_gib: 24.0,
+        memory_bandwidth_gbps: 600.0,
+        fp16_tflops: 125.0,
+        fp32_tflops: 31.2,
+        arch: GpuArch::Ampere,
+        compute_capability: 8.6,
+        sm_count: 72,
+        cuda_cores: 9216,
+        tensor_cores: 288,
+        rt_cores: 72,
+        texture_units: 288,
+        rops: 96,
+        pcie_gen: 4,
+        nvlink: false,
+        nvlink_bandwidth_gbps: 0.0,
+        form_factor: FormFactor::Pcie,
+        cost_per_hour: 1.01, // g5.xlarge
+    }
+}
+
+/// NVIDIA T4 16GB (Turing, PCIe).
+pub fn t4() -> GpuSpec {
+    GpuSpec {
+        name: "T4-16GB",
+        memory_gib: 16.0,
+        memory_bandwidth_gbps: 320.0,
+        fp16_tflops: 65.0,
+        fp32_tflops: 8.1,
+        arch: GpuArch::Turing,
+        compute_capability: 7.5,
+        sm_count: 40,
+        cuda_cores: 2560,
+        tensor_cores: 320,
+        rt_cores: 40,
+        texture_units: 160,
+        rops: 64,
+        pcie_gen: 3,
+        nvlink: false,
+        nvlink_bandwidth_gbps: 0.0,
+        form_factor: FormFactor::Pcie,
+        cost_per_hour: 0.53, // g4dn.xlarge
+    }
+}
+
+/// NVIDIA V100 16GB SXM2 (Volta).
+pub fn v100() -> GpuSpec {
+    GpuSpec {
+        name: "V100-16GB",
+        memory_gib: 16.0,
+        memory_bandwidth_gbps: 900.0,
+        fp16_tflops: 125.0,
+        fp32_tflops: 15.7,
+        arch: GpuArch::Volta,
+        compute_capability: 7.0,
+        sm_count: 80,
+        cuda_cores: 5120,
+        tensor_cores: 640,
+        rt_cores: 0,
+        texture_units: 320,
+        rops: 128,
+        pcie_gen: 3,
+        nvlink: true,
+        nvlink_bandwidth_gbps: 300.0,
+        form_factor: FormFactor::Sxm,
+        cost_per_hour: 3.06, // p3.2xlarge
+    }
+}
+
+/// All GPU types appearing in the paper (Table III plus the A100 80GB used in
+/// Fig. 1, Table I and the Sec. V-A ablations).
+pub fn gpu_catalog() -> Vec<GpuSpec> {
+    vec![h100(), a100_80(), a100_40(), a10(), t4(), v100()]
+}
+
+/// The paper's 14 benchmarked GPU profiles (Table III header):
+/// H100×{1,2,4}, A100-40×{1,2,4}, A10×{1,2}, T4×{1,2,4}, V100×{1,2,4}.
+pub fn paper_profiles() -> Vec<GpuProfile> {
+    let mut out = Vec::with_capacity(14);
+    for &count in &[1u32, 2, 4] {
+        out.push(GpuProfile::new(h100(), count));
+    }
+    for &count in &[1u32, 2, 4] {
+        out.push(GpuProfile::new(a100_40(), count));
+    }
+    for &count in &[1u32, 2] {
+        out.push(GpuProfile::new(a10(), count));
+    }
+    for &count in &[1u32, 2, 4] {
+        out.push(GpuProfile::new(t4(), count));
+    }
+    for &count in &[1u32, 2, 4] {
+        out.push(GpuProfile::new(v100(), count));
+    }
+    out
+}
+
+/// Look up a GPU type by its catalog name.
+pub fn gpu_by_name(name: &str) -> Option<GpuSpec> {
+    gpu_catalog().into_iter().find(|g| g.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_six_types_with_unique_names() {
+        let cat = gpu_catalog();
+        assert_eq!(cat.len(), 6);
+        let mut names: Vec<_> = cat.iter().map(|g| g.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6);
+    }
+
+    #[test]
+    fn paper_profiles_count_is_fourteen() {
+        assert_eq!(paper_profiles().len(), 14);
+    }
+
+    #[test]
+    fn paper_profiles_exclude_a100_80() {
+        assert!(paper_profiles().iter().all(|p| p.gpu.name != "A100-80GB"));
+    }
+
+    #[test]
+    fn flash_attention_support_follows_compute_capability() {
+        assert!(h100().supports_flash_attention());
+        assert!(a100_40().supports_flash_attention());
+        assert!(a10().supports_flash_attention());
+        assert!(t4().supports_flash_attention());
+        assert!(!v100().supports_flash_attention());
+    }
+
+    #[test]
+    fn profile_memory_and_cost_scale_with_count() {
+        let p1 = GpuProfile::new(t4(), 1);
+        let p4 = GpuProfile::new(t4(), 4);
+        assert!((p4.total_memory_bytes() - 4.0 * p1.total_memory_bytes()).abs() < 1.0);
+        assert!((p4.cost_per_hour() - 4.0 * p1.cost_per_hour()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn interconnect_prefers_nvlink() {
+        assert!(h100().interconnect_bandwidth_gbps() > 500.0);
+        assert!(t4().interconnect_bandwidth_gbps() <= 32.0);
+        assert!(a10().interconnect_bandwidth_gbps() <= 32.0);
+    }
+
+    #[test]
+    fn memory_ordering_matches_datasheets() {
+        // H100 and A100-80 have the largest memories; T4/V100 the smallest.
+        assert!(h100().memory_gib > a100_40().memory_gib);
+        assert!(a100_40().memory_gib > a10().memory_gib);
+        assert!(a10().memory_gib > t4().memory_gib);
+        assert_eq!(t4().memory_gib, v100().memory_gib);
+    }
+
+    #[test]
+    fn gpu_by_name_round_trips() {
+        for g in gpu_catalog() {
+            assert_eq!(gpu_by_name(g.name).unwrap(), g);
+        }
+        assert!(gpu_by_name("B200").is_none());
+    }
+
+    #[test]
+    fn profile_name_format() {
+        assert_eq!(GpuProfile::new(a100_40(), 2).name(), "2xA100-40GB");
+    }
+
+    #[test]
+    fn arch_codes_are_ordered() {
+        assert!(GpuArch::Hopper.code() > GpuArch::Ampere.code());
+        assert!(GpuArch::Ampere.code() > GpuArch::Turing.code());
+        assert!(GpuArch::Turing.code() > GpuArch::Volta.code());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one GPU")]
+    fn zero_gpu_profile_panics() {
+        let _ = GpuProfile::new(t4(), 0);
+    }
+}

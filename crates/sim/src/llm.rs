@@ -1,0 +1,497 @@
+//! LLM architecture descriptions and the catalog of the paper's ten models.
+//!
+//! An [`LlmSpec`] carries exactly the features the GPU recommendation tool
+//! uses to describe a model (Sec. IV-B-1): model family, encoder-decoder vs
+//! decoder-only, parameter/layer/position/head counts, flash-attention use,
+//! vocabulary size, relative-attention parameters and training data type —
+//! plus the structural figures the simulator's memory and roofline models
+//! need (hidden size, KV head count, encoder fraction).
+
+/// Transformer topology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LlmArch {
+    /// Decoder-only causal LM (GPT-style).
+    DecoderOnly,
+    /// Encoder-decoder (T5-style); generation runs the decoder over the
+    /// encoder's output via cross-attention.
+    EncoderDecoder,
+}
+
+/// Numeric storage type of the published weights.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DType {
+    /// IEEE half precision (2 bytes / parameter).
+    Fp16,
+    /// bfloat16 (2 bytes / parameter).
+    Bf16,
+    /// IEEE single precision (4 bytes / parameter).
+    Fp32,
+}
+
+impl DType {
+    /// Bytes per parameter.
+    pub fn bytes(self) -> f64 {
+        match self {
+            DType::Fp16 | DType::Bf16 => 2.0,
+            DType::Fp32 => 4.0,
+        }
+    }
+}
+
+/// Static description of one LLM.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LlmSpec {
+    /// Hub identifier, e.g. `"bigcode/starcoder"`.
+    pub name: &'static str,
+    /// Model family / type string (an ML feature, e.g. `"t5"`, `"llama"`).
+    pub family: &'static str,
+    /// Total parameter count.
+    pub num_parameters: f64,
+    /// Transformer topology.
+    pub arch: LlmArch,
+    /// Total number of transformer layers (encoder + decoder for enc-dec).
+    pub num_layers: u32,
+    /// Hidden (model) dimension.
+    pub hidden_size: u32,
+    /// Number of attention heads.
+    pub num_heads: u32,
+    /// Number of key/value heads (`1` for multi-query attention, equal to
+    /// `num_heads` for standard multi-head attention).
+    pub num_kv_heads: u32,
+    /// Maximum sequence length (number of positions).
+    pub num_positions: u32,
+    /// Vocabulary size.
+    pub vocab_size: u32,
+    /// Whether the serving stack uses flash attention for this model. Flash
+    /// models cannot be deployed on GPUs with compute capability < 8.0 and
+    /// avoid materializing the O(n²) attention matrix during prefill.
+    pub uses_flash_attention: bool,
+    /// Relative-attention maximum distance (T5-style models; 0 otherwise).
+    pub relative_attention_max_distance: u32,
+    /// Relative-attention bucket count (T5-style models; 0 otherwise).
+    pub relative_attention_num_buckets: u32,
+    /// Weight data type.
+    pub dtype: DType,
+    /// Fraction of parameters in the encoder (0 for decoder-only models).
+    pub encoder_fraction: f64,
+    /// Whether the serving stack supports tensor-parallel sharding for this
+    /// model ("at the time of writing this work TGIS didn't support tensor
+    /// parallelism for certain LLMs" — Sec. V-B).
+    pub supports_tensor_parallel: bool,
+}
+
+impl LlmSpec {
+    /// Weight footprint in bytes.
+    pub fn weight_bytes(&self) -> f64 {
+        self.num_parameters * self.dtype.bytes()
+    }
+
+    /// Decoder layer count (all layers for decoder-only models).
+    pub fn decoder_layers(&self) -> u32 {
+        match self.arch {
+            LlmArch::DecoderOnly => self.num_layers,
+            LlmArch::EncoderDecoder => self.num_layers / 2,
+        }
+    }
+
+    /// Encoder layer count (0 for decoder-only models).
+    pub fn encoder_layers(&self) -> u32 {
+        self.num_layers - self.decoder_layers()
+    }
+
+    /// Per-head dimension.
+    pub fn head_dim(&self) -> u32 {
+        self.hidden_size / self.num_heads
+    }
+
+    /// KV-cache bytes stored per *generated-sequence* token: keys and values
+    /// for every decoder layer, over the KV heads only (multi-query models
+    /// store a single KV head).
+    pub fn kv_bytes_per_token(&self) -> f64 {
+        let kv_dim = (self.num_kv_heads * self.head_dim()) as f64;
+        let self_attn = 2.0 * self.decoder_layers() as f64 * kv_dim * self.dtype.bytes();
+        self_attn
+    }
+
+    /// Cross-attention KV bytes stored per *input* token (enc-dec only): the
+    /// decoder caches keys/values of the encoder output for every decoder
+    /// layer. Zero for decoder-only models, whose input tokens land in the
+    /// ordinary self-attention cache instead (see [`Self::kv_bytes_per_token`]).
+    pub fn cross_kv_bytes_per_input_token(&self) -> f64 {
+        match self.arch {
+            LlmArch::DecoderOnly => 0.0,
+            LlmArch::EncoderDecoder => {
+                let kv_dim = (self.num_kv_heads * self.head_dim()) as f64;
+                2.0 * self.decoder_layers() as f64 * kv_dim * self.dtype.bytes()
+            }
+        }
+    }
+
+    /// Parameters active during decode (decoder side only for enc-dec).
+    pub fn decoder_parameters(&self) -> f64 {
+        self.num_parameters * (1.0 - self.encoder_fraction)
+    }
+
+    /// Parameters active while processing the prompt: the encoder for
+    /// enc-dec models, the full stack for decoder-only models.
+    pub fn prompt_parameters(&self) -> f64 {
+        match self.arch {
+            LlmArch::DecoderOnly => self.num_parameters,
+            LlmArch::EncoderDecoder => self.num_parameters * self.encoder_fraction,
+        }
+    }
+}
+
+/// google/flan-t5-xl — 3B encoder-decoder.
+pub fn flan_t5_xl() -> LlmSpec {
+    LlmSpec {
+        name: "google/flan-t5-xl",
+        family: "t5",
+        num_parameters: 2.85e9,
+        arch: LlmArch::EncoderDecoder,
+        num_layers: 48,
+        hidden_size: 2048,
+        num_heads: 32,
+        num_kv_heads: 32,
+        num_positions: 512,
+        vocab_size: 32128,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 128,
+        relative_attention_num_buckets: 32,
+        dtype: DType::Bf16,
+        encoder_fraction: 0.45,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// google/flan-t5-xxl — 11B encoder-decoder.
+pub fn flan_t5_xxl() -> LlmSpec {
+    LlmSpec {
+        name: "google/flan-t5-xxl",
+        family: "t5",
+        num_parameters: 11.3e9,
+        arch: LlmArch::EncoderDecoder,
+        num_layers: 48,
+        hidden_size: 4096,
+        num_heads: 64,
+        num_kv_heads: 64,
+        num_positions: 512,
+        vocab_size: 32128,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 128,
+        relative_attention_num_buckets: 32,
+        dtype: DType::Bf16,
+        encoder_fraction: 0.45,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// google/flan-ul2 — 20B encoder-decoder.
+pub fn flan_ul2() -> LlmSpec {
+    LlmSpec {
+        name: "google/flan-ul2",
+        family: "t5",
+        num_parameters: 20.0e9,
+        arch: LlmArch::EncoderDecoder,
+        num_layers: 64,
+        hidden_size: 4096,
+        num_heads: 16,
+        num_kv_heads: 16,
+        num_positions: 2048,
+        vocab_size: 32128,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 128,
+        relative_attention_num_buckets: 32,
+        dtype: DType::Bf16,
+        encoder_fraction: 0.45,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// ibm/mpt-7b-instruct2 — 7B decoder-only (no TGIS tensor parallelism).
+/// Served from the FP32 checkpoint; its ALiBi attention was not
+/// flash-compatible in TGIS at the time (hence × rather than − on V100 in
+/// the paper's Table III).
+pub fn mpt_7b() -> LlmSpec {
+    LlmSpec {
+        name: "ibm/mpt-7b-instruct2",
+        family: "mpt",
+        num_parameters: 6.7e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 32,
+        hidden_size: 4096,
+        num_heads: 32,
+        num_kv_heads: 32,
+        num_positions: 2048,
+        vocab_size: 50432,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp32,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: false,
+    }
+}
+
+/// bigscience/mt0-xxl — 13B encoder-decoder (no TGIS tensor parallelism).
+pub fn mt0_xxl() -> LlmSpec {
+    LlmSpec {
+        name: "bigscience/mt0-xxl",
+        family: "mt5",
+        num_parameters: 12.9e9,
+        arch: LlmArch::EncoderDecoder,
+        num_layers: 48,
+        hidden_size: 4096,
+        num_heads: 64,
+        num_kv_heads: 64,
+        num_positions: 1024,
+        vocab_size: 250112,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 128,
+        relative_attention_num_buckets: 32,
+        dtype: DType::Bf16,
+        encoder_fraction: 0.45,
+        supports_tensor_parallel: false,
+    }
+}
+
+/// Salesforce/codegen2-16B — 16B decoder-only (no TGIS tensor parallelism).
+/// Published as an FP32 checkpoint, which is why the paper could only
+/// collect its data on the 80 GB H100 (Table III).
+pub fn codegen2_16b() -> LlmSpec {
+    LlmSpec {
+        name: "Salesforce/codegen2-16B",
+        family: "codegen2",
+        num_parameters: 16.0e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 34,
+        hidden_size: 6144,
+        num_heads: 24,
+        num_kv_heads: 24,
+        num_positions: 2048,
+        vocab_size: 51200,
+        uses_flash_attention: false,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp32,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: false,
+    }
+}
+
+/// Llama-2-7b — 7B decoder-only with flash attention.
+pub fn llama2_7b() -> LlmSpec {
+    LlmSpec {
+        name: "Llama-2-7b",
+        family: "llama",
+        num_parameters: 6.7e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 32,
+        hidden_size: 4096,
+        num_heads: 32,
+        num_kv_heads: 32,
+        num_positions: 4096,
+        vocab_size: 32000,
+        uses_flash_attention: true,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp16,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// Llama-2-13b — 13B decoder-only with flash attention.
+pub fn llama2_13b() -> LlmSpec {
+    LlmSpec {
+        name: "Llama-2-13b",
+        family: "llama",
+        num_parameters: 13.0e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 40,
+        hidden_size: 5120,
+        num_heads: 40,
+        num_kv_heads: 40,
+        num_positions: 4096,
+        vocab_size: 32000,
+        uses_flash_attention: true,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp16,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// EleutherAI/gpt-neox-20b — 20B decoder-only with flash attention.
+pub fn gpt_neox_20b() -> LlmSpec {
+    LlmSpec {
+        name: "EleutherAI/gpt-neox-20b",
+        family: "gpt_neox",
+        num_parameters: 20.6e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 44,
+        hidden_size: 6144,
+        num_heads: 64,
+        num_kv_heads: 64,
+        num_positions: 2048,
+        vocab_size: 50432,
+        uses_flash_attention: true,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp16,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// bigcode/starcoder — 15B decoder-only with flash attention and
+/// multi-query attention (a single KV head).
+pub fn starcoder() -> LlmSpec {
+    LlmSpec {
+        name: "bigcode/starcoder",
+        family: "gpt_bigcode",
+        num_parameters: 15.5e9,
+        arch: LlmArch::DecoderOnly,
+        num_layers: 40,
+        hidden_size: 6144,
+        num_heads: 48,
+        num_kv_heads: 1,
+        num_positions: 8192,
+        vocab_size: 49152,
+        uses_flash_attention: true,
+        relative_attention_max_distance: 0,
+        relative_attention_num_buckets: 0,
+        dtype: DType::Fp16,
+        encoder_fraction: 0.0,
+        supports_tensor_parallel: true,
+    }
+}
+
+/// The ten LLMs of the paper's characterization dataset (Table III rows).
+pub fn llm_catalog() -> Vec<LlmSpec> {
+    vec![
+        flan_t5_xl(),
+        flan_t5_xxl(),
+        flan_ul2(),
+        mpt_7b(),
+        mt0_xxl(),
+        codegen2_16b(),
+        llama2_7b(),
+        llama2_13b(),
+        gpt_neox_20b(),
+        starcoder(),
+    ]
+}
+
+/// Look up an LLM by its catalog name.
+pub fn llm_by_name(name: &str) -> Option<LlmSpec> {
+    llm_catalog().into_iter().find(|m| m.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_ten_models_with_unique_names() {
+        let cat = llm_catalog();
+        assert_eq!(cat.len(), 10);
+        let mut names: Vec<_> = cat.iter().map(|m| m.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 10);
+    }
+
+    #[test]
+    fn weight_bytes_are_two_per_param_for_half_precision() {
+        let m = llama2_13b();
+        assert!((m.weight_bytes() - 26.0e9).abs() < 1e8);
+    }
+
+    #[test]
+    fn enc_dec_layer_split_is_even() {
+        let m = flan_t5_xxl();
+        assert_eq!(m.encoder_layers(), 24);
+        assert_eq!(m.decoder_layers(), 24);
+        let d = llama2_7b();
+        assert_eq!(d.encoder_layers(), 0);
+        assert_eq!(d.decoder_layers(), 32);
+    }
+
+    #[test]
+    fn multi_query_attention_shrinks_kv_cache() {
+        let sc = starcoder();
+        let neox = gpt_neox_20b();
+        // Starcoder stores one KV head; its per-token cache must be tens of
+        // times smaller than a comparable MHA model.
+        assert!(sc.kv_bytes_per_token() * 20.0 < neox.kv_bytes_per_token());
+    }
+
+    #[test]
+    fn cross_attention_cache_only_for_enc_dec() {
+        assert!(flan_t5_xxl().cross_kv_bytes_per_input_token() > 0.0);
+        assert_eq!(llama2_13b().cross_kv_bytes_per_input_token(), 0.0);
+    }
+
+    #[test]
+    fn no_tensor_parallel_models_match_paper() {
+        let no_tp: Vec<_> = llm_catalog()
+            .into_iter()
+            .filter(|m| !m.supports_tensor_parallel)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            no_tp,
+            vec![
+                "ibm/mpt-7b-instruct2",
+                "bigscience/mt0-xxl",
+                "Salesforce/codegen2-16B"
+            ]
+        );
+    }
+
+    #[test]
+    fn flash_attention_models_match_paper() {
+        // Rows with "−" on V100 in Table III: llama-2-7b/13b, neox, starcoder.
+        let flash: Vec<_> = llm_catalog()
+            .into_iter()
+            .filter(|m| m.uses_flash_attention)
+            .map(|m| m.name)
+            .collect();
+        assert_eq!(
+            flash,
+            vec![
+                "Llama-2-7b",
+                "Llama-2-13b",
+                "EleutherAI/gpt-neox-20b",
+                "bigcode/starcoder"
+            ]
+        );
+    }
+
+    #[test]
+    fn decoder_parameters_below_total_for_enc_dec() {
+        let m = flan_ul2();
+        assert!(m.decoder_parameters() < m.num_parameters);
+        assert!(m.prompt_parameters() < m.num_parameters);
+        let d = starcoder();
+        assert_eq!(d.decoder_parameters(), d.num_parameters);
+        assert_eq!(d.prompt_parameters(), d.num_parameters);
+    }
+
+    #[test]
+    fn llm_by_name_round_trips() {
+        for m in llm_catalog() {
+            assert_eq!(llm_by_name(m.name).unwrap(), m);
+        }
+        assert!(llm_by_name("gpt-5").is_none());
+    }
+
+    #[test]
+    fn head_dim_divides_hidden_size() {
+        for m in llm_catalog() {
+            assert_eq!(m.head_dim() * m.num_heads, m.hidden_size, "{}", m.name);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Inference request descriptions consumed by the simulator.
+
+/// What the simulator needs to know about one inference request: how many
+/// prompt tokens arrive, how many output tokens will be generated, and the
+/// client-side batch size (the production traces carry batch sizes 1–5; a
+/// request with batch size `b` carries `b` parallel sequences with the same
+/// shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RequestSpec {
+    /// Prompt length in tokens (≥ 1).
+    pub input_tokens: u32,
+    /// Number of output tokens to generate (≥ 1).
+    pub output_tokens: u32,
+    /// Client-side batch size (≥ 1).
+    pub batch_size: u32,
+}
+
+impl RequestSpec {
+    /// A single-sequence request.
+    pub fn new(input_tokens: u32, output_tokens: u32) -> Self {
+        Self { input_tokens, output_tokens, batch_size: 1 }
+    }
+
+    /// A request carrying `batch_size` identical sequences.
+    pub fn batched(input_tokens: u32, output_tokens: u32, batch_size: u32) -> Self {
+        Self { input_tokens, output_tokens, batch_size }
+    }
+
+    /// The request's contribution to the server's batch weight: the total
+    /// number of input and output tokens across all of its sequences
+    /// (Sec. II-B — the weight reserves room for the full response).
+    pub fn weight(&self) -> u64 {
+        u64::from(self.batch_size) * (u64::from(self.input_tokens) + u64::from(self.output_tokens))
+    }
+
+    /// Total output tokens the request will produce.
+    pub fn total_output_tokens(&self) -> u64 {
+        u64::from(self.batch_size) * u64::from(self.output_tokens)
+    }
+}
+
+/// Anything that can produce a stream of inference requests — implemented by
+/// the workload generator (via an adapter in `llmpilot-core`) and by simple
+/// fixed/synthetic sources used in tests and benches.
+pub trait RequestSource {
+    /// Produce the next request.
+    fn next_request(&mut self) -> RequestSpec;
+}
+
+/// A source that cycles deterministically through a fixed list of requests.
+#[derive(Debug, Clone)]
+pub struct FixedSource {
+    requests: Vec<RequestSpec>,
+    cursor: usize,
+}
+
+impl FixedSource {
+    /// Cycle through `requests` forever.
+    pub fn new(requests: Vec<RequestSpec>) -> Self {
+        assert!(!requests.is_empty(), "FixedSource needs at least one request");
+        Self { requests, cursor: 0 }
+    }
+
+    /// A source that always returns the same request.
+    pub fn constant(spec: RequestSpec) -> Self {
+        Self::new(vec![spec])
+    }
+}
+
+impl RequestSource for FixedSource {
+    fn next_request(&mut self) -> RequestSpec {
+        let spec = self.requests[self.cursor];
+        self.cursor = (self.cursor + 1) % self.requests.len();
+        spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weight_counts_input_and_output_times_batch() {
+        let r = RequestSpec::batched(100, 50, 3);
+        assert_eq!(r.weight(), 450);
+        assert_eq!(r.total_output_tokens(), 150);
+    }
+
+    #[test]
+    fn fixed_source_cycles() {
+        let a = RequestSpec::new(1, 1);
+        let b = RequestSpec::new(2, 2);
+        let mut s = FixedSource::new(vec![a, b]);
+        assert_eq!(s.next_request(), a);
+        assert_eq!(s.next_request(), b);
+        assert_eq!(s.next_request(), a);
+    }
+
+    #[test]
+    fn constant_source_repeats() {
+        let r = RequestSpec::new(10, 20);
+        let mut s = FixedSource::constant(r);
+        for _ in 0..5 {
+            assert_eq!(s.next_request(), r);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one request")]
+    fn empty_fixed_source_panics() {
+        let _ = FixedSource::new(vec![]);
+    }
+}

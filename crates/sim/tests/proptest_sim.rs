@@ -1,0 +1,111 @@
+//! Property-based invariants of the simulator: memory accounting, tuning
+//! and the performance model.
+
+use proptest::prelude::*;
+
+use llmpilot_sim::gpu::{gpu_catalog, GpuProfile};
+use llmpilot_sim::llm::llm_catalog;
+use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
+use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
+use llmpilot_sim::tuner::{tune_max_batch_weight, weight_is_valid};
+
+fn any_llm() -> impl Strategy<Value = usize> {
+    0..llm_catalog().len()
+}
+
+fn any_profile() -> impl Strategy<Value = (usize, u32)> {
+    (0..gpu_catalog().len(), prop::sample::select(vec![1u32, 2, 4]))
+}
+
+proptest! {
+    /// KV accounting is additive and the peak grows with every request.
+    #[test]
+    fn peak_memory_is_monotone_in_batch(
+        llm_idx in any_llm(),
+        (gpu_idx, count) in any_profile(),
+        batch in prop::collection::vec((1u32..4000, 1u32..1500), 1..20)
+    ) {
+        let llm = llm_catalog()[llm_idx].clone();
+        let profile = GpuProfile::new(gpu_catalog()[gpu_idx].clone(), count);
+        let mem = MemoryModel::new(llm, profile, MemoryConfig::default());
+        let mut last = mem.peak_batch_bytes(&[]);
+        for k in 1..=batch.len() {
+            let peak = mem.peak_batch_bytes(&batch[..k]);
+            prop_assert!(peak >= last - 1e-6);
+            last = peak;
+        }
+    }
+
+    /// Tuning validity is monotone: any weight at or below a valid weight
+    /// is also valid (so binary search is sound).
+    #[test]
+    fn tuning_validity_is_monotone(
+        llm_idx in any_llm(),
+        (gpu_idx, count) in any_profile(),
+        frac in 0.05f64..1.0
+    ) {
+        let llm = llm_catalog()[llm_idx].clone();
+        let profile = GpuProfile::new(gpu_catalog()[gpu_idx].clone(), count);
+        let mem = MemoryModel::new(llm, profile, MemoryConfig::default());
+        let Ok(outcome) = tune_max_batch_weight(&mem) else {
+            return Ok(()); // infeasible cell: nothing to check
+        };
+        let mut probes = 0;
+        let (cap_in, cap_out) = mem.largest_request();
+        let floor = u64::from(cap_in) + u64::from(cap_out);
+        let smaller = floor
+            + ((outcome.max_batch_weight - floor) as f64 * frac) as u64;
+        prop_assert!(weight_is_valid(&mem, smaller, &mut probes));
+        prop_assert!(!weight_is_valid(&mem, outcome.max_batch_weight + 1, &mut probes));
+    }
+
+    /// Step times are positive, finite, and monotone in both batch size and
+    /// KV footprint for every catalog pairing.
+    #[test]
+    fn decode_step_time_is_monotone(
+        llm_idx in any_llm(),
+        (gpu_idx, count) in any_profile(),
+        batch in 1u32..200,
+        kv in 0u64..2_000_000
+    ) {
+        let llm = llm_catalog()[llm_idx].clone();
+        let profile = GpuProfile::new(gpu_catalog()[gpu_idx].clone(), count);
+        let perf = PerfModel::new(llm, profile, PerfModelConfig::default());
+        let t = perf.decode_step_time(batch, kv);
+        prop_assert!(t.is_finite() && t > 0.0);
+        prop_assert!(perf.decode_step_time(batch + 1, kv) >= t);
+        prop_assert!(perf.decode_step_time(batch, kv + 100_000) >= t);
+    }
+
+    /// Prefill time is positive, finite, and monotone in prompt length.
+    #[test]
+    fn prefill_time_is_monotone(
+        llm_idx in any_llm(),
+        (gpu_idx, count) in any_profile(),
+        tokens in 1u32..4000
+    ) {
+        let llm = llm_catalog()[llm_idx].clone();
+        let profile = GpuProfile::new(gpu_catalog()[gpu_idx].clone(), count);
+        let perf = PerfModel::new(llm, profile, PerfModelConfig::default());
+        let t = perf.prefill_time(tokens);
+        prop_assert!(t.is_finite() && t > 0.0);
+        prop_assert!(perf.prefill_time(tokens + 100) > t);
+    }
+
+    /// Request capping always produces an admissible request.
+    #[test]
+    fn cap_request_is_idempotent_and_bounded(
+        llm_idx in any_llm(),
+        input in 1u32..100_000,
+        output in 1u32..100_000
+    ) {
+        let llm = llm_catalog()[llm_idx].clone();
+        let profile = GpuProfile::new(gpu_catalog()[0].clone(), 1);
+        let mem = MemoryModel::new(llm, profile, MemoryConfig::default());
+        let (i, o) = mem.cap_request(input, output);
+        prop_assert!(i >= 1 && o >= 1);
+        let cap = mem.max_sequence_tokens();
+        prop_assert!(u64::from(i) + u64::from(o) <= u64::from(cap));
+        prop_assert_eq!(mem.cap_request(i, o), (i, o));
+    }
+}

@@ -1,0 +1,312 @@
+//! Trace analytics: Spearman rank correlation (Fig. 3), summary statistics
+//! (Table II) and empirical CDFs (Fig. 6).
+
+use std::fmt;
+
+use crate::record::{Param, TraceDataset};
+
+/// Average ranks of a sample (ties receive the mean of their rank range),
+/// 1-based like the classical definition.
+pub fn ranks(values: &[f64]) -> Vec<f64> {
+    let n = values.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| values[a].partial_cmp(&values[b]).expect("finite values"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && values[idx[j + 1]] == values[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j].
+        let avg = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            out[k] = avg;
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Pearson correlation of two equal-length samples; `NaN` when degenerate.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "samples must have equal length");
+    let n = xs.len() as f64;
+    if n < 2.0 {
+        return f64::NAN;
+    }
+    let mx = xs.iter().sum::<f64>() / n;
+    let my = ys.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        cov += (x - mx) * (y - my);
+        vx += (x - mx).powi(2);
+        vy += (y - my).powi(2);
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return f64::NAN;
+    }
+    cov / (vx.sqrt() * vy.sqrt())
+}
+
+/// Spearman's rank correlation coefficient [41 in the paper]: the Pearson
+/// correlation of the rank-transformed samples (tie-aware).
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+/// Pairwise Spearman correlation matrix over the given trace columns
+/// (the paper's Fig. 3).
+pub fn correlation_matrix(ds: &TraceDataset, params: &[Param]) -> Vec<Vec<f64>> {
+    let columns: Vec<Vec<f64>> = params.iter().map(|&p| ds.column(p)).collect();
+    let k = params.len();
+    let mut m = vec![vec![0.0; k]; k];
+    for i in 0..k {
+        m[i][i] = 1.0;
+        for j in (i + 1)..k {
+            let r = spearman(&columns[i], &columns[j]);
+            m[i][j] = r;
+            m[j][i] = r;
+        }
+    }
+    m
+}
+
+/// Table II-style characteristics of a trace collection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Collection-window length in days.
+    pub period_days: f64,
+    /// Number of requests.
+    pub num_requests: usize,
+    /// Number of distinct users.
+    pub num_users: usize,
+    /// Number of distinct LLMs.
+    pub num_llms: usize,
+    /// Input-token range (min, max).
+    pub input_token_range: (u32, u32),
+    /// Output-token range (min, max).
+    pub output_token_range: (u32, u32),
+    /// Batch-size range (min, max).
+    pub batch_size_range: (u32, u32),
+    /// Number of additional request parameters.
+    pub additional_params: usize,
+}
+
+/// Summarize a trace dataset (the reproduction of Table II).
+pub fn summarize(ds: &TraceDataset) -> TraceSummary {
+    let horizon = ds.records.iter().map(|r| r.timestamp_s).fold(0.0f64, f64::max);
+    let minmax_u32 = |f: &dyn Fn(&crate::record::TraceRecord) -> u32| {
+        let mut lo = u32::MAX;
+        let mut hi = 0;
+        for r in &ds.records {
+            let v = f(r);
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        if ds.is_empty() {
+            (0, 0)
+        } else {
+            (lo, hi)
+        }
+    };
+    TraceSummary {
+        period_days: horizon / 86_400.0,
+        num_requests: ds.len(),
+        num_users: ds.distinct_users(),
+        num_llms: ds.distinct_llms(),
+        input_token_range: minmax_u32(&|r| r.input_tokens),
+        output_token_range: minmax_u32(&|r| r.output_tokens),
+        batch_size_range: minmax_u32(&|r| r.batch_size),
+        additional_params: Param::additional_param_count(),
+    }
+}
+
+impl fmt::Display for TraceSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Time period          {:.1} months", self.period_days / 30.0)?;
+        writeln!(f, "Number of requests   {}", self.num_requests)?;
+        writeln!(f, "Number of users      approx. {}", self.num_users)?;
+        writeln!(f, "Number of LLMs       {}", self.num_llms)?;
+        writeln!(
+            f,
+            "Range of tokens      input: {}-{}, output: {}-{}",
+            self.input_token_range.0,
+            self.input_token_range.1,
+            self.output_token_range.0,
+            self.output_token_range.1
+        )?;
+        writeln!(f, "Batch sizes          {}-{}", self.batch_size_range.0, self.batch_size_range.1)?;
+        write!(f, "Additional params    {}", self.additional_params)
+    }
+}
+
+/// Empirical cumulative distribution function of a sample.
+#[derive(Debug, Clone)]
+pub struct EmpiricalCdf {
+    sorted: Vec<f64>,
+}
+
+impl EmpiricalCdf {
+    /// Build from a sample (NaNs are rejected).
+    pub fn new(mut values: Vec<f64>) -> Self {
+        assert!(values.iter().all(|v| v.is_finite()), "CDF sample must be finite");
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        Self { sorted: values }
+    }
+
+    /// Number of sample points.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the sample is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of the sample ≤ `x`.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let count = self.sorted.partition_point(|&v| v <= x);
+        count as f64 / self.sorted.len() as f64
+    }
+
+    /// Quantile `q ∈ [0, 1]`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile out of range");
+        if self.sorted.is_empty() {
+            return f64::NAN;
+        }
+        let i = ((self.sorted.len() - 1) as f64 * q).round() as usize;
+        self.sorted[i]
+    }
+
+    /// Maximum absolute CDF difference against another sample on the union
+    /// of their support points (two-sample Kolmogorov–Smirnov statistic):
+    /// used to quantify how closely the workload generator reproduces the
+    /// empirical marginals (Fig. 6).
+    pub fn ks_distance(&self, other: &EmpiricalCdf) -> f64 {
+        let mut d = 0.0f64;
+        for &x in self.sorted.iter().chain(other.sorted.iter()) {
+            d = d.max((self.eval(x) - other.eval(x)).abs());
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceGenerator, TraceGeneratorConfig};
+
+    #[test]
+    fn ranks_handle_ties() {
+        assert_eq!(ranks(&[10.0, 20.0, 20.0, 30.0]), vec![1.0, 2.5, 2.5, 4.0]);
+        assert_eq!(ranks(&[5.0]), vec![1.0]);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_relations() {
+        let xs: Vec<f64> = (0..100).map(f64::from).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x * x).collect(); // monotone, nonlinear
+        assert!((spearman(&xs, &ys) - 1.0).abs() < 1e-12);
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert!((spearman(&xs, &neg) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_near_zero_for_independent() {
+        // Deterministic pseudo-random interleaving.
+        let xs: Vec<f64> = (0..1000).map(|i| f64::from((i * 7919) % 1000)).collect();
+        let ys: Vec<f64> = (0..1000).map(|i| f64::from((i * 104_729) % 1000)).collect();
+        assert!(spearman(&xs, &ys).abs() < 0.1);
+    }
+
+    #[test]
+    fn pearson_degenerate_is_nan() {
+        assert!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]).is_nan());
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+    }
+
+    #[test]
+    fn correlation_matrix_is_symmetric_with_unit_diagonal() {
+        let ds = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 5_000,
+            seed: 3,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let params = Param::core();
+        let m = correlation_matrix(&ds, &params);
+        for i in 0..params.len() {
+            assert_eq!(m[i][i], 1.0);
+            for j in 0..params.len() {
+                assert_eq!(m[i][j], m[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_structure_tokens_and_batch_correlate() {
+        let ds = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 30_000,
+            seed: 4,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let params = Param::core();
+        let m = correlation_matrix(&ds, &params);
+        // Indices in Param::core(): 0 input, 1 output, 2 batch, 3 decoding,
+        // 4 temperature, 5 top_k, 6 top_p.
+        assert!(m[0][1] > 0.2, "input-output rho = {}", m[0][1]);
+        assert!(m[3][4].abs() > 0.3, "decoding-temperature rho = {}", m[3][4]);
+        // Sampling parameters correlate with each other.
+        assert!(m[4][5].abs() > 0.2, "temperature-topk rho = {}", m[4][5]);
+    }
+
+    #[test]
+    fn summary_matches_generator_config() {
+        let ds = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 10_000,
+            num_users: 300,
+            num_llms: 24,
+            seed: 5,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let s = summarize(&ds);
+        assert_eq!(s.num_requests, 10_000);
+        assert_eq!(s.num_llms, 24);
+        assert_eq!(s.additional_params, 33);
+        assert!(s.period_days > 100.0);
+        assert!(s.batch_size_range.1 <= 5);
+        assert!(s.input_token_range.1 <= 4093);
+        assert!(s.output_token_range.1 <= 1500);
+        let text = s.to_string();
+        assert!(text.contains("Number of LLMs       24"));
+    }
+
+    #[test]
+    fn empirical_cdf_eval_and_quantile() {
+        let cdf = EmpiricalCdf::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(cdf.eval(0.5), 0.0);
+        assert_eq!(cdf.eval(2.0), 0.5);
+        assert_eq!(cdf.eval(10.0), 1.0);
+        assert_eq!(cdf.quantile(0.0), 1.0);
+        assert_eq!(cdf.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn ks_distance_zero_for_identical_samples() {
+        let a = EmpiricalCdf::new(vec![1.0, 5.0, 9.0]);
+        let b = EmpiricalCdf::new(vec![1.0, 5.0, 9.0]);
+        assert_eq!(a.ks_distance(&b), 0.0);
+        let c = EmpiricalCdf::new(vec![100.0, 200.0, 300.0]);
+        assert_eq!(a.ks_distance(&c), 1.0);
+    }
+}

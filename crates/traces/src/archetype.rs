@@ -1,0 +1,388 @@
+//! Task archetypes: latent-correlated request-parameter distributions.
+//!
+//! The paper's workload analysis (Sec. III-A, Fig. 3) shows that production
+//! request parameters are strongly rank-correlated — in particular the
+//! numbers of input and output tokens, the batch size and the token-sampling
+//! parameters. Real traffic has this structure because requests come from
+//! *tasks*: a summarization request has a long prompt and a medium output, a
+//! chat turn has a short prompt and sampling enabled, a classification call
+//! is greedy with a tiny output, and so on.
+//!
+//! Each [`Archetype`] couples its parameters through a shared latent "size"
+//! variable `z ~ N(0,1)`: a request that is large on one dimension tends to
+//! be large on the others, producing the positive rank correlations the
+//! paper observes; mixing archetypes adds between-task correlation on top.
+
+use rand::{Rng, RngExt};
+
+use crate::dist::{clamp_round, log_normal, normal, standard_normal, Categorical};
+use crate::record::{DecodingMethod, NUM_AUX_PARAMS};
+
+/// Hard bounds of the production traces (Table II).
+pub const MAX_INPUT_TOKENS: u32 = 4093;
+/// Upper bound on output tokens (Table II).
+pub const MAX_OUTPUT_TOKENS: u32 = 1500;
+/// Upper bound on client-side batch size (Table II).
+pub const MAX_BATCH_SIZE: u32 = 5;
+
+/// The request parameters an archetype samples (everything except identity,
+/// timestamp and the latency label).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RequestParams {
+    /// Prompt tokens.
+    pub input_tokens: u32,
+    /// Output tokens.
+    pub output_tokens: u32,
+    /// Client-side batch size.
+    pub batch_size: u32,
+    /// Sampling strategy.
+    pub decoding_method: DecodingMethod,
+    /// Sampling temperature (0 for greedy).
+    pub temperature: f64,
+    /// Top-k cutoff (0 when disabled).
+    pub top_k: u32,
+    /// Top-p cutoff (1.0 when disabled).
+    pub top_p: f64,
+    /// Typical-p cutoff.
+    pub typical_p: f64,
+    /// Repetition penalty.
+    pub repetition_penalty: f64,
+    /// Length penalty (beam search).
+    pub length_penalty: f64,
+    /// Requested generation cap.
+    pub max_new_tokens: u32,
+    /// Requested generation floor.
+    pub min_new_tokens: u32,
+    /// Stop-sequence count.
+    pub stop_sequences: u32,
+    /// Prompt truncation limit (0 = none).
+    pub truncate_input_tokens: u32,
+    /// Streamed response?
+    pub streaming: bool,
+    /// Auxiliary knobs.
+    pub aux: [f32; NUM_AUX_PARAMS],
+}
+
+/// One task archetype with its parameter distributions.
+#[derive(Debug, Clone)]
+pub struct Archetype {
+    /// Task label.
+    pub name: &'static str,
+    /// Mixture weight in the overall traffic.
+    pub weight: f64,
+    /// Log-normal location of the input length.
+    pub log_mu_input: f64,
+    /// Log-normal scale of the input length.
+    pub log_sigma_input: f64,
+    /// Log-normal location of the output length.
+    pub log_mu_output: f64,
+    /// Log-normal scale of the output length.
+    pub log_sigma_output: f64,
+    /// How strongly the latent size variable moves the input length.
+    pub size_coupling_input: f64,
+    /// How strongly the latent size variable moves the output length.
+    pub size_coupling_output: f64,
+    /// How strongly the latent size variable raises the batch size.
+    pub batch_coupling: f64,
+    /// Probabilities of (greedy, sample, beam) decoding.
+    pub decoding_probs: [f64; 3],
+    /// Temperature range when sampling.
+    pub temperature_range: (f64, f64),
+    /// Top-k values used when sampling (0 disables).
+    pub top_k_choices: &'static [u32],
+    /// Top-p range when sampling.
+    pub top_p_range: (f64, f64),
+    /// Probability the response is streamed.
+    pub p_streaming: f64,
+}
+
+impl Archetype {
+    /// Draw one request from this archetype.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> RequestParams {
+        // Shared latent size: couples input, output and batch size.
+        let z = standard_normal(rng);
+
+        let input_tokens = clamp_round(
+            log_normal(
+                rng,
+                self.log_mu_input + self.size_coupling_input * z,
+                self.log_sigma_input,
+            ),
+            1,
+            MAX_INPUT_TOKENS,
+        );
+        let output_tokens = clamp_round(
+            log_normal(
+                rng,
+                self.log_mu_output + self.size_coupling_output * z,
+                self.log_sigma_output,
+            ),
+            1,
+            MAX_OUTPUT_TOKENS,
+        );
+        let batch_size = clamp_round(
+            1.0 + self.batch_coupling * z.max(0.0) + 0.3 * standard_normal(rng).max(0.0),
+            1,
+            MAX_BATCH_SIZE,
+        );
+
+        let decoding = Categorical::new(&self.decoding_probs);
+        let decoding_method = match decoding.sample(rng) {
+            0 => DecodingMethod::Greedy,
+            1 => DecodingMethod::Sample,
+            _ => DecodingMethod::BeamSearch,
+        };
+
+        // Sampling knobs are set only when sampling is on — which is what
+        // correlates the decoding method with temperature/top-k/top-p in
+        // the production traces (Fig. 3).
+        let (temperature, top_k, top_p, typical_p) = match decoding_method {
+            DecodingMethod::Greedy => (0.0, 0, 1.0, 1.0),
+            DecodingMethod::Sample => {
+                let (lo, hi) = self.temperature_range;
+                let t = lo + (hi - lo) * rng.random::<f64>();
+                let k = self.top_k_choices[rng.random_range(0..self.top_k_choices.len())];
+                let (plo, phi) = self.top_p_range;
+                let p = plo + (phi - plo) * rng.random::<f64>();
+                let tp = if rng.random::<f64>() < 0.1 { 0.2 + 0.75 * rng.random::<f64>() } else { 1.0 };
+                (t, k, p, tp)
+            }
+            DecodingMethod::BeamSearch => (0.0, 0, 1.0, 1.0),
+        };
+
+        let repetition_penalty = if matches!(decoding_method, DecodingMethod::Sample) {
+            1.0 + 0.25 * rng.random::<f64>()
+        } else {
+            1.0
+        };
+        let length_penalty = if matches!(decoding_method, DecodingMethod::BeamSearch) {
+            0.8 + 0.6 * rng.random::<f64>()
+        } else {
+            1.0
+        };
+
+        // Clients request a cap somewhat above the realized output length.
+        let max_new_tokens = clamp_round(
+            output_tokens as f64 * (1.1 + 0.9 * rng.random::<f64>()),
+            output_tokens,
+            2 * MAX_OUTPUT_TOKENS,
+        );
+        let min_new_tokens = if rng.random::<f64>() < 0.15 {
+            clamp_round(output_tokens as f64 * 0.2, 1, output_tokens)
+        } else {
+            1
+        };
+
+        let stop_sequences = if rng.random::<f64>() < 0.3 { rng.random_range(1..=4) } else { 0 };
+        let truncate_input_tokens = if rng.random::<f64>() < 0.2 {
+            clamp_round(input_tokens as f64 * (1.0 + rng.random::<f64>()), input_tokens, 8192)
+        } else {
+            0
+        };
+        let streaming = rng.random::<f64>() < self.p_streaming;
+
+        let mut aux = [0.0f32; NUM_AUX_PARAMS];
+        for (i, a) in aux.iter_mut().enumerate() {
+            // Mostly-default knobs with occasional user overrides.
+            *a = if rng.random::<f64>() < 0.1 {
+                normal(rng, 0.5 + 0.02 * i as f64, 0.2) as f32
+            } else {
+                0.0
+            };
+        }
+
+        RequestParams {
+            input_tokens,
+            output_tokens,
+            batch_size,
+            decoding_method,
+            temperature,
+            top_k,
+            top_p,
+            typical_p,
+            repetition_penalty,
+            length_penalty,
+            max_new_tokens,
+            min_new_tokens,
+            stop_sequences,
+            truncate_input_tokens,
+            streaming,
+            aux,
+        }
+    }
+}
+
+/// The default mixture of six production task archetypes.
+pub fn default_archetypes() -> Vec<Archetype> {
+    vec![
+        Archetype {
+            name: "chat",
+            weight: 0.30,
+            log_mu_input: 5.0,
+            log_sigma_input: 0.5,
+            log_mu_output: 4.6,
+            log_sigma_output: 0.45,
+            size_coupling_input: 0.85,
+            size_coupling_output: 0.8,
+            batch_coupling: 0.45,
+            decoding_probs: [0.15, 0.85, 0.0],
+            temperature_range: (0.6, 1.1),
+            top_k_choices: &[0, 40, 50, 100],
+            top_p_range: (0.85, 0.99),
+            p_streaming: 0.9,
+        },
+        Archetype {
+            name: "summarization",
+            weight: 0.18,
+            log_mu_input: 7.2,
+            log_sigma_input: 0.35,
+            log_mu_output: 5.1,
+            log_sigma_output: 0.3,
+            size_coupling_input: 0.75,
+            size_coupling_output: 0.65,
+            batch_coupling: 0.7,
+            decoding_probs: [0.6, 0.35, 0.05],
+            temperature_range: (0.3, 0.8),
+            top_k_choices: &[0, 20, 50],
+            top_p_range: (0.8, 0.95),
+            p_streaming: 0.3,
+        },
+        Archetype {
+            name: "code_generation",
+            weight: 0.17,
+            log_mu_input: 6.2,
+            log_sigma_input: 0.55,
+            log_mu_output: 5.3,
+            log_sigma_output: 0.5,
+            size_coupling_input: 0.9,
+            size_coupling_output: 0.85,
+            batch_coupling: 0.5,
+            decoding_probs: [0.5, 0.5, 0.0],
+            temperature_range: (0.2, 0.8),
+            top_k_choices: &[0, 10, 40],
+            top_p_range: (0.9, 0.99),
+            p_streaming: 0.7,
+        },
+        Archetype {
+            name: "extraction",
+            weight: 0.15,
+            log_mu_input: 6.8,
+            log_sigma_input: 0.4,
+            log_mu_output: 3.2,
+            log_sigma_output: 0.35,
+            size_coupling_input: 0.75,
+            size_coupling_output: 0.55,
+            batch_coupling: 1.1,
+            decoding_probs: [0.9, 0.1, 0.0],
+            temperature_range: (0.0, 0.4),
+            top_k_choices: &[0, 10],
+            top_p_range: (0.9, 1.0),
+            p_streaming: 0.05,
+        },
+        Archetype {
+            name: "translation",
+            weight: 0.12,
+            log_mu_input: 5.6,
+            log_sigma_input: 0.4,
+            log_mu_output: 5.5,
+            log_sigma_output: 0.35,
+            size_coupling_input: 0.9,
+            size_coupling_output: 0.9,
+            batch_coupling: 0.8,
+            decoding_probs: [0.35, 0.35, 0.3],
+            temperature_range: (0.2, 0.7),
+            top_k_choices: &[0, 5, 10],
+            top_p_range: (0.85, 0.98),
+            p_streaming: 0.1,
+        },
+        Archetype {
+            name: "classification",
+            weight: 0.08,
+            log_mu_input: 5.4,
+            log_sigma_input: 0.5,
+            log_mu_output: 1.2,
+            log_sigma_output: 0.4,
+            size_coupling_input: 0.6,
+            size_coupling_output: 0.3,
+            batch_coupling: 1.3,
+            decoding_probs: [0.97, 0.03, 0.0],
+            temperature_range: (0.0, 0.2),
+            top_k_choices: &[0],
+            top_p_range: (1.0, 1.0),
+            p_streaming: 0.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_respect_table2_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for a in default_archetypes() {
+            for _ in 0..2_000 {
+                let r = a.sample(&mut rng);
+                assert!(r.input_tokens >= 1 && r.input_tokens <= MAX_INPUT_TOKENS);
+                assert!(r.output_tokens >= 1 && r.output_tokens <= MAX_OUTPUT_TOKENS);
+                assert!(r.batch_size >= 1 && r.batch_size <= MAX_BATCH_SIZE);
+                assert!(r.max_new_tokens >= r.output_tokens);
+                assert!(r.min_new_tokens <= r.output_tokens);
+                assert!(r.top_p > 0.0 && r.top_p <= 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_requests_have_neutral_sampling_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = &default_archetypes()[3]; // extraction: mostly greedy
+        for _ in 0..500 {
+            let r = a.sample(&mut rng);
+            if r.decoding_method == DecodingMethod::Greedy {
+                assert_eq!(r.temperature, 0.0);
+                assert_eq!(r.top_k, 0);
+                assert_eq!(r.top_p, 1.0);
+            }
+        }
+    }
+
+    #[test]
+    fn latent_size_couples_input_and_output() {
+        // Within one archetype, inputs and outputs must be positively
+        // correlated through the latent size variable.
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = &default_archetypes()[0];
+        let samples: Vec<_> = (0..20_000).map(|_| a.sample(&mut rng)).collect();
+        let xs: Vec<f64> = samples.iter().map(|r| f64::from(r.input_tokens)).collect();
+        let ys: Vec<f64> = samples.iter().map(|r| f64::from(r.output_tokens)).collect();
+        let mx = xs.iter().sum::<f64>() / xs.len() as f64;
+        let my = ys.iter().sum::<f64>() / ys.len() as f64;
+        let cov: f64 = xs.iter().zip(&ys).map(|(x, y)| (x - mx) * (y - my)).sum();
+        let vx: f64 = xs.iter().map(|x| (x - mx).powi(2)).sum();
+        let vy: f64 = ys.iter().map(|y| (y - my).powi(2)).sum();
+        let pearson = cov / (vx.sqrt() * vy.sqrt());
+        assert!(pearson > 0.3, "pearson = {pearson}");
+    }
+
+    #[test]
+    fn archetype_weights_sum_to_one() {
+        let total: f64 = default_archetypes().iter().map(|a| a.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn archetypes_differ_in_shape() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let arch = default_archetypes();
+        let mean_out = |a: &Archetype, rng: &mut StdRng| {
+            (0..3_000).map(|_| f64::from(a.sample(rng).output_tokens)).sum::<f64>() / 3_000.0
+        };
+        let chat = mean_out(&arch[0], &mut rng);
+        let classification = mean_out(&arch[5], &mut rng);
+        assert!(chat > 5.0 * classification, "chat {chat} vs classification {classification}");
+    }
+}

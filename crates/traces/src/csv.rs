@@ -1,0 +1,174 @@
+//! CSV import/export of trace collections — the interchange format for
+//! moving request logs in and out of the toolchain (the paper's traces are
+//! a table of exactly this shape).
+
+use crate::record::{DecodingMethod, Param, TraceDataset, TraceRecord, NUM_AUX_PARAMS};
+
+/// The CSV header: identity/time columns, then every [`Param`] column, then
+/// the latency label.
+pub fn csv_header() -> String {
+    let mut cols = vec!["user_id".to_string(), "llm_id".to_string(), "timestamp_s".to_string()];
+    cols.extend(Param::all().iter().map(|p| p.name()));
+    cols.push("latency_s".to_string());
+    cols.join(",")
+}
+
+/// Serialize a trace collection to CSV.
+pub fn to_csv(ds: &TraceDataset) -> String {
+    use std::fmt::Write as _;
+    let params = Param::all();
+    let mut out = csv_header();
+    out.push('\n');
+    for r in &ds.records {
+        write!(out, "{},{},{}", r.user_id, r.llm_id, r.timestamp_s).expect("write to String");
+        for p in &params {
+            write!(out, ",{}", p.value(r)).expect("write to String");
+        }
+        writeln!(out, ",{}", r.latency_s).expect("write to String");
+    }
+    out
+}
+
+/// Parse a trace collection from the CSV produced by [`to_csv`].
+pub fn from_csv(text: &str) -> Result<TraceDataset, String> {
+    let params = Param::all();
+    let expected_fields = 3 + params.len() + 1;
+    let mut lines = text.lines();
+    let header = lines.next().ok_or("empty input")?;
+    if header != csv_header() {
+        return Err("unexpected CSV header".to_string());
+    }
+
+    let mut records = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != expected_fields {
+            return Err(format!(
+                "line {}: expected {} fields, found {}",
+                lineno + 2,
+                expected_fields,
+                fields.len()
+            ));
+        }
+        let mut idx = 0usize;
+        let mut next = || {
+            let f = fields[idx];
+            idx += 1;
+            f
+        };
+        let parse_err = |what: &str, raw: &str| format!("line {}: bad {what}: {raw:?}", lineno + 2);
+
+        let user_id: u32 = next().parse().map_err(|_| parse_err("user_id", fields[0]))?;
+        let llm_id: u16 = next().parse().map_err(|_| parse_err("llm_id", fields[1]))?;
+        let timestamp_s: f64 =
+            next().parse().map_err(|_| parse_err("timestamp_s", fields[2]))?;
+
+        let mut values = Vec::with_capacity(params.len());
+        for p in &params {
+            let raw = next();
+            let v: f64 = raw.parse().map_err(|_| parse_err(&p.name(), raw))?;
+            values.push(v);
+        }
+        let raw = next();
+        let latency_s: f64 = raw.parse().map_err(|_| parse_err("latency_s", raw))?;
+
+        let get = |p: Param| -> f64 {
+            values[params.iter().position(|&q| q == p).expect("param present")]
+        };
+        let mut aux = [0.0f32; NUM_AUX_PARAMS];
+        for (i, a) in aux.iter_mut().enumerate() {
+            *a = get(Param::Aux(i as u8)) as f32;
+        }
+        records.push(TraceRecord {
+            user_id,
+            llm_id,
+            timestamp_s,
+            input_tokens: get(Param::InputTokens) as u32,
+            output_tokens: get(Param::OutputTokens) as u32,
+            batch_size: get(Param::BatchSize) as u32,
+            decoding_method: DecodingMethod::from_code(get(Param::DecodingMethod)),
+            temperature: get(Param::Temperature),
+            top_k: get(Param::TopK) as u32,
+            top_p: get(Param::TopP),
+            typical_p: get(Param::TypicalP),
+            repetition_penalty: get(Param::RepetitionPenalty),
+            length_penalty: get(Param::LengthPenalty),
+            max_new_tokens: get(Param::MaxNewTokens) as u32,
+            min_new_tokens: get(Param::MinNewTokens) as u32,
+            stop_sequences: get(Param::StopSequences) as u32,
+            truncate_input_tokens: get(Param::TruncateInput) as u32,
+            streaming: get(Param::Streaming) > 0.5,
+            aux,
+            latency_s,
+        });
+    }
+    Ok(TraceDataset::new(records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{TraceGenerator, TraceGeneratorConfig};
+
+    fn dataset() -> TraceDataset {
+        TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 500,
+            seed: 71,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn header_has_all_columns() {
+        let header = csv_header();
+        let cols: Vec<&str> = header.split(',').collect();
+        assert_eq!(cols.len(), 3 + Param::all().len() + 1);
+        assert_eq!(cols[0], "user_id");
+        assert!(cols.contains(&"input_tokens"));
+        assert!(cols.contains(&"aux_20"));
+        assert_eq!(*cols.last().unwrap(), "latency_s");
+    }
+
+    #[test]
+    fn round_trip_preserves_every_field() {
+        let original = dataset();
+        let text = to_csv(&original);
+        let parsed = from_csv(&text).expect("parse back");
+        assert_eq!(parsed.len(), original.len());
+        for (a, b) in original.records.iter().zip(&parsed.records) {
+            assert_eq!(a.user_id, b.user_id);
+            assert_eq!(a.llm_id, b.llm_id);
+            assert_eq!(a.input_tokens, b.input_tokens);
+            assert_eq!(a.output_tokens, b.output_tokens);
+            assert_eq!(a.batch_size, b.batch_size);
+            assert_eq!(a.decoding_method, b.decoding_method);
+            assert_eq!(a.streaming, b.streaming);
+            assert!((a.temperature - b.temperature).abs() < 1e-12);
+            assert!((a.latency_s - b.latency_s).abs() < 1e-12);
+            for (x, y) in a.aux.iter().zip(&b.aux) {
+                assert!((x - y).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(from_csv("").is_err());
+        assert!(from_csv("wrong,header\n").is_err());
+        let good = to_csv(&dataset());
+        let mut lines: Vec<&str> = good.lines().collect();
+        lines[1] = "1,2,3"; // too few fields
+        assert!(from_csv(&lines.join("\n")).is_err());
+    }
+
+    #[test]
+    fn empty_dataset_round_trips() {
+        let text = to_csv(&TraceDataset::default());
+        let parsed = from_csv(&text).unwrap();
+        assert!(parsed.is_empty());
+    }
+}

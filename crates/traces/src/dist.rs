@@ -1,0 +1,191 @@
+//! Small, dependency-free sampling distributions used by the trace
+//! generator (and re-used by the workload crate's tests).
+//!
+//! Only `rand`'s core RNG is used; the distributions themselves (normal via
+//! Box–Muller, log-normal, categorical, Zipf) are implemented here.
+
+use rand::{Rng, RngExt};
+
+/// Standard normal sample via the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid ln(0).
+    let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Log-normal sample: `exp(N(mu, sigma))`.
+pub fn log_normal<R: Rng + ?Sized>(rng: &mut R, mu: f64, sigma: f64) -> f64 {
+    normal(rng, mu, sigma).exp()
+}
+
+/// Clamp a float into `[lo, hi]` and round it to the nearest integer ≥ lo.
+pub fn clamp_round(x: f64, lo: u32, hi: u32) -> u32 {
+    let clamped = x.max(lo as f64).min(hi as f64);
+    (clamped.round() as u32).clamp(lo, hi)
+}
+
+/// Weighted categorical sampler over `0..weights.len()`.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Build from non-negative weights (at least one must be positive).
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs at least one weight");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "at least one weight must be positive");
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|&w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        Self { cumulative }
+    }
+
+    /// Draw an index with probability proportional to its weight.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.random();
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cumulative weights are finite"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether there are zero categories (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+}
+
+/// Zipf-distributed sampler over `1..=n` with exponent `s`: used for
+/// user-activity skew (a few users send most requests).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    categorical: Categorical,
+}
+
+impl Zipf {
+    /// Build a Zipf(n, s) sampler.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n >= 1);
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Self { categorical: Categorical::new(&weights) }
+    }
+
+    /// Draw a rank in `1..=n`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        self.categorical.sample(rng) + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn standard_normal_has_zero_mean_unit_variance() {
+        let mut r = rng();
+        let n = 100_000;
+        let samples: Vec<f64> = (0..n).map(|_| standard_normal(&mut r)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn log_normal_is_positive_and_skewed() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..10_000).map(|_| log_normal(&mut r, 5.0, 1.0)).collect();
+        assert!(samples.iter().all(|&x| x > 0.0));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let mut sorted = samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        // Log-normals are right-skewed: mean > median.
+        assert!(mean > median);
+    }
+
+    #[test]
+    fn categorical_frequencies_match_weights() {
+        let mut r = rng();
+        let c = Categorical::new(&[1.0, 3.0, 6.0]);
+        let mut counts = [0usize; 3];
+        for _ in 0..60_000 {
+            counts[c.sample(&mut r)] += 1;
+        }
+        assert!((counts[0] as f64 / 60_000.0 - 0.1).abs() < 0.01);
+        assert!((counts[1] as f64 / 60_000.0 - 0.3).abs() < 0.01);
+        assert!((counts[2] as f64 / 60_000.0 - 0.6).abs() < 0.01);
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_drawn() {
+        let mut r = rng();
+        let c = Categorical::new(&[0.0, 1.0]);
+        for _ in 0..1_000 {
+            assert_eq!(c.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn zipf_is_head_heavy() {
+        let mut r = rng();
+        let z = Zipf::new(100, 1.2);
+        let mut counts = vec![0usize; 101];
+        for _ in 0..50_000 {
+            counts[z.sample(&mut r)] += 1;
+        }
+        assert!(counts[1] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn clamp_round_respects_bounds() {
+        assert_eq!(clamp_round(-5.0, 1, 10), 1);
+        assert_eq!(clamp_round(3.4, 1, 10), 3);
+        assert_eq!(clamp_round(3.6, 1, 10), 4);
+        assert_eq!(clamp_round(99.0, 1, 10), 10);
+        assert_eq!(clamp_round(f64::NAN.max(1.0), 1, 10), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_categorical_panics() {
+        let _ = Categorical::new(&[]);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..100 {
+            assert_eq!(standard_normal(&mut a), standard_normal(&mut b));
+        }
+    }
+}

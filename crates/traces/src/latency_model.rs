@@ -1,0 +1,159 @@
+//! Ground-truth end-to-end latency labels for synthetic trace records.
+//!
+//! The production traces record the measured end-to-end latency of every
+//! request; the paper's Sec. III-A importance study fits a random-forest
+//! regressor to those latencies (reaching R² ≈ 0.93) and finds the output
+//! token count most influential, followed by the input tokens, the batch
+//! size and the token-sampling parameters.
+//!
+//! This module labels synthetic records with a latency that has exactly that
+//! dependency structure: a decode term linear in output tokens (dominant), a
+//! prefill term linear in input tokens, a batch-size slowdown, second-order
+//! effects from the sampling knobs, and multiplicative log-normal noise
+//! (queueing, cluster load) sized so a good regressor can reach R² ≈ 0.9.
+
+use rand::Rng;
+
+use crate::archetype::RequestParams;
+use crate::dist::log_normal;
+use crate::record::DecodingMethod;
+
+/// Coefficients of the latency labeling model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LatencyModel {
+    /// Seconds per output token (decode, bandwidth-bound) — dominant.
+    pub per_output_token_s: f64,
+    /// Seconds per input token (prefill, compute-bound).
+    pub per_input_token_s: f64,
+    /// Fixed overhead per request, seconds.
+    pub fixed_s: f64,
+    /// Relative slowdown per extra sequence in the client batch.
+    pub batch_slowdown: f64,
+    /// Log-scale standard deviation of the multiplicative noise.
+    pub noise_sigma: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        Self {
+            per_output_token_s: 0.032,
+            per_input_token_s: 0.00042,
+            fixed_s: 0.12,
+            batch_slowdown: 0.18,
+            noise_sigma: 0.16,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// Relative decode-cost factor of the request's sampling configuration:
+    /// greedy is cheapest, sampling adds logits filtering, beam search
+    /// multiplies work by the beam.
+    pub fn decoding_factor(&self, p: &RequestParams) -> f64 {
+        match p.decoding_method {
+            DecodingMethod::Greedy => 1.0,
+            DecodingMethod::Sample => {
+                1.04 + 0.06 * p.temperature
+                    + 0.0004 * f64::from(p.top_k)
+                    + 0.05 * (1.0 - p.top_p)
+                    + 0.08 * (p.repetition_penalty - 1.0)
+            }
+            DecodingMethod::BeamSearch => 1.6 + 0.1 * (p.length_penalty - 1.0),
+        }
+    }
+
+    /// Noise-free expected latency of a request, seconds.
+    pub fn expected_latency(&self, p: &RequestParams) -> f64 {
+        let decode = self.per_output_token_s * f64::from(p.output_tokens) * self.decoding_factor(p);
+        let prefill = self.per_input_token_s * f64::from(p.input_tokens);
+        let batch = 1.0 + self.batch_slowdown * f64::from(p.batch_size - 1);
+        self.fixed_s + (decode + prefill) * batch
+    }
+
+    /// Label a request with a noisy latency, seconds.
+    pub fn sample_latency<R: Rng + ?Sized>(&self, p: &RequestParams, rng: &mut R) -> f64 {
+        self.expected_latency(p) * log_normal(rng, 0.0, self.noise_sigma)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::archetype::default_archetypes;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn base_params() -> RequestParams {
+        let mut rng = StdRng::seed_from_u64(9);
+        default_archetypes()[0].sample(&mut rng)
+    }
+
+    #[test]
+    fn output_tokens_dominate_latency() {
+        let m = LatencyModel::default();
+        let mut p = base_params();
+        p.batch_size = 1;
+        p.input_tokens = 100;
+        p.output_tokens = 100;
+        let base = m.expected_latency(&p);
+        let mut more_out = p.clone();
+        more_out.output_tokens = 200;
+        let mut more_in = p.clone();
+        more_in.input_tokens = 200;
+        let d_out = m.expected_latency(&more_out) - base;
+        let d_in = m.expected_latency(&more_in) - base;
+        assert!(d_out > 10.0 * d_in, "out {d_out} vs in {d_in}");
+    }
+
+    #[test]
+    fn batch_size_slows_requests_down() {
+        let m = LatencyModel::default();
+        let mut p = base_params();
+        p.batch_size = 1;
+        let one = m.expected_latency(&p);
+        p.batch_size = 5;
+        let five = m.expected_latency(&p);
+        assert!(five > 1.5 * one);
+    }
+
+    #[test]
+    fn beam_search_is_most_expensive() {
+        let m = LatencyModel::default();
+        let mut p = base_params();
+        p.decoding_method = DecodingMethod::Greedy;
+        let greedy = m.decoding_factor(&p);
+        p.decoding_method = DecodingMethod::Sample;
+        p.temperature = 0.8;
+        let sample = m.decoding_factor(&p);
+        p.decoding_method = DecodingMethod::BeamSearch;
+        let beam = m.decoding_factor(&p);
+        assert!(greedy < sample);
+        assert!(sample < beam);
+    }
+
+    #[test]
+    fn noise_is_multiplicative_and_unbiased_in_log() {
+        let m = LatencyModel::default();
+        let p = base_params();
+        let mut rng = StdRng::seed_from_u64(10);
+        let expected = m.expected_latency(&p);
+        let n = 20_000;
+        let mean_log_ratio: f64 = (0..n)
+            .map(|_| (m.sample_latency(&p, &mut rng) / expected).ln())
+            .sum::<f64>()
+            / n as f64;
+        assert!(mean_log_ratio.abs() < 0.01, "mean log ratio {mean_log_ratio}");
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        let m = LatencyModel::default();
+        let mut rng = StdRng::seed_from_u64(11);
+        for a in default_archetypes() {
+            for _ in 0..500 {
+                let p = a.sample(&mut rng);
+                assert!(m.sample_latency(&p, &mut rng) > 0.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # llmpilot-traces
+//!
+//! Synthetic production-trace generation and analytics for LLM inference
+//! requests — the substitute for the paper's proprietary 17.3M-request
+//! trace collection (Table II). Requests are drawn from latent-correlated
+//! task archetypes so the joint parameter structure the paper measures
+//! (Fig. 3) is present; every record carries a ground-truth latency label
+//! for the Sec. III-A importance study.
+
+pub mod analysis;
+pub mod csv;
+pub mod archetype;
+pub mod dist;
+pub mod generator;
+pub mod latency_model;
+pub mod record;
+
+pub use csv::{csv_header, from_csv, to_csv};
+pub use analysis::{correlation_matrix, spearman, summarize, EmpiricalCdf, TraceSummary};
+pub use archetype::{default_archetypes, Archetype, RequestParams};
+pub use generator::{TraceGenerator, TraceGeneratorConfig, PAPER_HORIZON_S};
+pub use latency_model::LatencyModel;
+pub use record::{DecodingMethod, Param, TraceDataset, TraceRecord, NUM_AUX_PARAMS};

@@ -1,0 +1,377 @@
+//! Trace records: one entry per inference request, mirroring the structure
+//! of the paper's production traces (Table II) — user id, timestamp, the
+//! request parameters (token counts, batch size and 33 additional
+//! TGIS-style decoding parameters) and the measured end-to-end latency.
+
+/// Token-sampling strategy of a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecodingMethod {
+    /// Deterministic argmax decoding.
+    Greedy,
+    /// Temperature/top-k/top-p sampling.
+    Sample,
+    /// Beam search.
+    BeamSearch,
+}
+
+impl DecodingMethod {
+    /// Numeric code for analyses and binning.
+    pub fn code(self) -> f64 {
+        match self {
+            DecodingMethod::Greedy => 0.0,
+            DecodingMethod::Sample => 1.0,
+            DecodingMethod::BeamSearch => 2.0,
+        }
+    }
+
+    /// Decode a numeric code back into a method (rounded, clamped).
+    pub fn from_code(code: f64) -> Self {
+        match code.round() as i64 {
+            i64::MIN..=0 => DecodingMethod::Greedy,
+            1 => DecodingMethod::Sample,
+            _ => DecodingMethod::BeamSearch,
+        }
+    }
+}
+
+/// Number of auxiliary request knobs beyond the named ones, chosen so a
+/// record carries 33 parameters in addition to the token counts and batch
+/// size — matching the paper's Table II.
+pub const NUM_AUX_PARAMS: usize = 21;
+
+/// One production-trace entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Anonymous user identifier.
+    pub user_id: u32,
+    /// Which LLM the request targeted (index into the platform's catalog).
+    pub llm_id: u16,
+    /// Seconds since the start of the trace-collection window.
+    pub timestamp_s: f64,
+    /// Prompt length in tokens.
+    pub input_tokens: u32,
+    /// Generated output length in tokens.
+    pub output_tokens: u32,
+    /// Client-side batch size (1–5 in the production traces).
+    pub batch_size: u32,
+    /// Token-sampling strategy.
+    pub decoding_method: DecodingMethod,
+    /// Sampling temperature.
+    pub temperature: f64,
+    /// Top-k cutoff (0 = disabled).
+    pub top_k: u32,
+    /// Nucleus-sampling cutoff.
+    pub top_p: f64,
+    /// Typical-decoding cutoff.
+    pub typical_p: f64,
+    /// Repetition penalty.
+    pub repetition_penalty: f64,
+    /// Beam-search length penalty.
+    pub length_penalty: f64,
+    /// Requested generation cap.
+    pub max_new_tokens: u32,
+    /// Requested generation floor.
+    pub min_new_tokens: u32,
+    /// Number of stop sequences attached to the request.
+    pub stop_sequences: u32,
+    /// Prompt-truncation limit requested by the client (0 = none).
+    pub truncate_input_tokens: u32,
+    /// Whether the response was streamed token-by-token.
+    pub streaming: bool,
+    /// Remaining auxiliary request knobs (flags, penalties, formatting
+    /// options) that production requests carry but that barely move latency.
+    pub aux: [f32; NUM_AUX_PARAMS],
+    /// Measured end-to-end latency of the request, seconds.
+    pub latency_s: f64,
+}
+
+/// A named column of the trace table. `Aux(i)` addresses the i-th auxiliary
+/// knob.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Param {
+    /// Prompt tokens.
+    InputTokens,
+    /// Output tokens.
+    OutputTokens,
+    /// Client-side batch size.
+    BatchSize,
+    /// Decoding method code.
+    DecodingMethod,
+    /// Sampling temperature.
+    Temperature,
+    /// Top-k cutoff.
+    TopK,
+    /// Top-p cutoff.
+    TopP,
+    /// Typical-p cutoff.
+    TypicalP,
+    /// Repetition penalty.
+    RepetitionPenalty,
+    /// Length penalty.
+    LengthPenalty,
+    /// Generation cap.
+    MaxNewTokens,
+    /// Generation floor.
+    MinNewTokens,
+    /// Stop-sequence count.
+    StopSequences,
+    /// Prompt truncation limit.
+    TruncateInput,
+    /// Streaming flag (0/1).
+    Streaming,
+    /// Auxiliary knob `0..NUM_AUX_PARAMS`.
+    Aux(u8),
+}
+
+impl Param {
+    /// Every column of the trace table.
+    pub fn all() -> Vec<Param> {
+        let mut v = vec![
+            Param::InputTokens,
+            Param::OutputTokens,
+            Param::BatchSize,
+            Param::DecodingMethod,
+            Param::Temperature,
+            Param::TopK,
+            Param::TopP,
+            Param::TypicalP,
+            Param::RepetitionPenalty,
+            Param::LengthPenalty,
+            Param::MaxNewTokens,
+            Param::MinNewTokens,
+            Param::StopSequences,
+            Param::TruncateInput,
+            Param::Streaming,
+        ];
+        for i in 0..NUM_AUX_PARAMS {
+            v.push(Param::Aux(i as u8));
+        }
+        v
+    }
+
+    /// The parameters the paper's Fig. 3 correlates and its importance study
+    /// ranks: token counts, batch size and the token-sampling parameters.
+    pub fn core() -> Vec<Param> {
+        vec![
+            Param::InputTokens,
+            Param::OutputTokens,
+            Param::BatchSize,
+            Param::DecodingMethod,
+            Param::Temperature,
+            Param::TopK,
+            Param::TopP,
+            Param::RepetitionPenalty,
+        ]
+    }
+
+    /// Number of parameters describing a request beyond the token counts and
+    /// batch size (the paper's Table II reports 33).
+    pub fn additional_param_count() -> usize {
+        Param::all().len() - 3
+    }
+
+    /// Column label.
+    pub fn name(self) -> String {
+        match self {
+            Param::InputTokens => "input_tokens".into(),
+            Param::OutputTokens => "output_tokens".into(),
+            Param::BatchSize => "batch_size".into(),
+            Param::DecodingMethod => "decoding_method".into(),
+            Param::Temperature => "temperature".into(),
+            Param::TopK => "top_k".into(),
+            Param::TopP => "top_p".into(),
+            Param::TypicalP => "typical_p".into(),
+            Param::RepetitionPenalty => "repetition_penalty".into(),
+            Param::LengthPenalty => "length_penalty".into(),
+            Param::MaxNewTokens => "max_new_tokens".into(),
+            Param::MinNewTokens => "min_new_tokens".into(),
+            Param::StopSequences => "stop_sequences".into(),
+            Param::TruncateInput => "truncate_input".into(),
+            Param::Streaming => "streaming".into(),
+            Param::Aux(i) => format!("aux_{i:02}"),
+        }
+    }
+
+    /// Parse a column label produced by [`Self::name`].
+    pub fn from_name(name: &str) -> Option<Param> {
+        Param::all().into_iter().find(|p| p.name() == name)
+    }
+
+    /// Read this column's value from a record.
+    pub fn value(self, r: &TraceRecord) -> f64 {
+        match self {
+            Param::InputTokens => f64::from(r.input_tokens),
+            Param::OutputTokens => f64::from(r.output_tokens),
+            Param::BatchSize => f64::from(r.batch_size),
+            Param::DecodingMethod => r.decoding_method.code(),
+            Param::Temperature => r.temperature,
+            Param::TopK => f64::from(r.top_k),
+            Param::TopP => r.top_p,
+            Param::TypicalP => r.typical_p,
+            Param::RepetitionPenalty => r.repetition_penalty,
+            Param::LengthPenalty => r.length_penalty,
+            Param::MaxNewTokens => f64::from(r.max_new_tokens),
+            Param::MinNewTokens => f64::from(r.min_new_tokens),
+            Param::StopSequences => f64::from(r.stop_sequences),
+            Param::TruncateInput => f64::from(r.truncate_input_tokens),
+            Param::Streaming => f64::from(u8::from(r.streaming)),
+            Param::Aux(i) => f64::from(r.aux[usize::from(i)]),
+        }
+    }
+}
+
+/// An in-memory trace collection with columnar access.
+#[derive(Debug, Clone, Default)]
+pub struct TraceDataset {
+    /// The trace entries, in timestamp order.
+    pub records: Vec<TraceRecord>,
+}
+
+impl TraceDataset {
+    /// Wrap a record list.
+    pub fn new(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
+    /// Number of requests.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Extract one column as a dense vector.
+    pub fn column(&self, param: Param) -> Vec<f64> {
+        self.records.iter().map(|r| param.value(r)).collect()
+    }
+
+    /// End-to-end latency labels.
+    pub fn latencies(&self) -> Vec<f64> {
+        self.records.iter().map(|r| r.latency_s).collect()
+    }
+
+    /// Approximate serialized size of one record in a CSV/JSON trace dump,
+    /// bytes — used for the storage comparison of Sec. V-A (the paper's
+    /// 17.3M-request collection occupies 1.6 GB, ≈ 92 bytes per request).
+    pub fn bytes_per_record() -> usize {
+        92
+    }
+
+    /// Approximate on-disk size of this dataset if dumped like the paper's
+    /// trace collection, bytes.
+    pub fn approx_storage_bytes(&self) -> usize {
+        self.len() * Self::bytes_per_record()
+    }
+
+    /// Number of distinct users.
+    pub fn distinct_users(&self) -> usize {
+        let mut ids: Vec<u32> = self.records.iter().map(|r| r.user_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+
+    /// Number of distinct LLMs.
+    pub fn distinct_llms(&self) -> usize {
+        let mut ids: Vec<u16> = self.records.iter().map(|r| r.llm_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record() -> TraceRecord {
+        TraceRecord {
+            user_id: 7,
+            llm_id: 2,
+            timestamp_s: 10.5,
+            input_tokens: 100,
+            output_tokens: 40,
+            batch_size: 2,
+            decoding_method: DecodingMethod::Sample,
+            temperature: 0.8,
+            top_k: 50,
+            top_p: 0.95,
+            typical_p: 1.0,
+            repetition_penalty: 1.1,
+            length_penalty: 1.0,
+            max_new_tokens: 256,
+            min_new_tokens: 1,
+            stop_sequences: 1,
+            truncate_input_tokens: 0,
+            streaming: true,
+            aux: [0.5; NUM_AUX_PARAMS],
+            latency_s: 2.5,
+        }
+    }
+
+    #[test]
+    fn additional_param_count_is_thirty_three() {
+        assert_eq!(Param::additional_param_count(), 33);
+    }
+
+    #[test]
+    fn all_params_have_unique_names() {
+        let names: Vec<String> = Param::all().into_iter().map(|p| p.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn param_values_read_the_right_fields() {
+        let r = record();
+        assert_eq!(Param::InputTokens.value(&r), 100.0);
+        assert_eq!(Param::OutputTokens.value(&r), 40.0);
+        assert_eq!(Param::BatchSize.value(&r), 2.0);
+        assert_eq!(Param::DecodingMethod.value(&r), 1.0);
+        assert_eq!(Param::Streaming.value(&r), 1.0);
+        assert_eq!(Param::Aux(3).value(&r), 0.5);
+    }
+
+    #[test]
+    fn decoding_method_codes_round_trip() {
+        for m in [DecodingMethod::Greedy, DecodingMethod::Sample, DecodingMethod::BeamSearch] {
+            assert_eq!(DecodingMethod::from_code(m.code()), m);
+        }
+        assert_eq!(DecodingMethod::from_code(-3.0), DecodingMethod::Greedy);
+        assert_eq!(DecodingMethod::from_code(9.0), DecodingMethod::BeamSearch);
+    }
+
+    #[test]
+    fn dataset_columns_and_counts() {
+        let mut r2 = record();
+        r2.user_id = 8;
+        r2.input_tokens = 200;
+        let ds = TraceDataset::new(vec![record(), r2]);
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.column(Param::InputTokens), vec![100.0, 200.0]);
+        assert_eq!(ds.distinct_users(), 2);
+        assert_eq!(ds.distinct_llms(), 1);
+        assert!(ds.approx_storage_bytes() > 0);
+    }
+
+    #[test]
+    fn param_names_round_trip() {
+        for p in Param::all() {
+            assert_eq!(Param::from_name(&p.name()), Some(p));
+        }
+        assert_eq!(Param::from_name("nonsense"), None);
+    }
+
+    #[test]
+    fn core_params_are_a_subset_of_all() {
+        let all = Param::all();
+        for p in Param::core() {
+            assert!(all.contains(&p));
+        }
+    }
+}

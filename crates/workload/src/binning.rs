@@ -1,0 +1,237 @@
+//! Equal-frequency binning of request parameters (Sec. III-B-1).
+//!
+//! For each parameter the generator divides the value range into at most 64
+//! bins, "defined such that they all contain an approximately equal number
+//! of requests"; when a parameter's cardinality is lower than the bin budget
+//! every unique value becomes its own bin. True values are replaced by their
+//! bin's representative value.
+
+/// Default number of bins per parameter (the paper uses 64).
+pub const DEFAULT_MAX_BINS: usize = 64;
+
+/// Binning of one parameter: ascending cut points between bins plus a
+/// representative value per bin.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BinSpec {
+    /// Upper-exclusive cut points between consecutive bins; `cuts.len() + 1`
+    /// bins total. A value `v` lands in the first bin whose cut exceeds it.
+    cuts: Vec<f64>,
+    /// Representative value of each bin: the mean of the training values
+    /// assigned to it (always inside the bin's interval).
+    centers: Vec<f64>,
+}
+
+impl BinSpec {
+    /// Fit an equal-frequency binning to a column. `max_bins ≥ 1`; the
+    /// resulting bin count is `min(max_bins, #unique values)` (possibly
+    /// fewer when quantile cut points collide on heavy ties).
+    pub fn fit(values: &[f64], max_bins: usize) -> Self {
+        assert!(max_bins >= 1, "need at least one bin");
+        assert!(!values.is_empty(), "cannot bin an empty column");
+        assert!(values.iter().all(|v| v.is_finite()), "column must be finite");
+
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+
+        let mut unique = sorted.clone();
+        unique.dedup();
+
+        let cuts: Vec<f64> = if unique.len() <= max_bins {
+            // Low-cardinality: one bin per unique value, cuts at midpoints.
+            unique.windows(2).map(|w| 0.5 * (w[0] + w[1])).collect()
+        } else {
+            // Equal-frequency quantile cuts, deduplicated.
+            let n = sorted.len();
+            let mut cuts = Vec::with_capacity(max_bins - 1);
+            for k in 1..max_bins {
+                let idx = (k * n) / max_bins;
+                let cut = sorted[idx.min(n - 1)];
+                if cuts.last().map_or(true, |&last| cut > last) {
+                    cuts.push(cut);
+                }
+            }
+            cuts
+        };
+
+        // Representative value per bin: mean of member values.
+        let num_bins = cuts.len() + 1;
+        let mut sums = vec![0.0f64; num_bins];
+        let mut counts = vec![0u64; num_bins];
+        for &v in &sorted {
+            let b = Self::bin_for(&cuts, v);
+            sums[b] += v;
+            counts[b] += 1;
+        }
+        let mut centers: Vec<f64> = sums
+            .iter()
+            .zip(&counts)
+            .map(|(&s, &c)| if c > 0 { s / c as f64 } else { f64::NAN })
+            .collect();
+        // Bins left empty by cut-point dedup still need a finite
+        // representative (they are never sampled, but the spec must stay
+        // serializable): use the midpoint of the surrounding cuts, falling
+        // back to the nearest cut at the edges.
+        for (b, center) in centers.iter_mut().enumerate() {
+            if !center.is_finite() {
+                *center = match (b.checked_sub(1).map(|i| cuts[i]), cuts.get(b)) {
+                    (Some(lo), Some(&hi)) => 0.5 * (lo + hi),
+                    (Some(lo), None) => lo,
+                    (None, Some(&hi)) => hi,
+                    (None, None) => 0.0,
+                };
+            }
+        }
+
+        Self { cuts, centers }
+    }
+
+    fn bin_for(cuts: &[f64], v: f64) -> usize {
+        // First cut strictly greater than v; values above all cuts land in
+        // the last bin.
+        cuts.partition_point(|&c| c <= v)
+    }
+
+    /// Bin index of a value.
+    pub fn bin_of(&self, v: f64) -> usize {
+        Self::bin_for(&self.cuts, v)
+    }
+
+    /// Representative value of a bin.
+    pub fn center(&self, bin: usize) -> f64 {
+        self.centers[bin]
+    }
+
+    /// Number of bins.
+    pub fn num_bins(&self) -> usize {
+        self.centers.len()
+    }
+
+    /// Approximate serialized size of this spec, bytes (two `f64` per bin).
+    pub fn approx_size_bytes(&self) -> usize {
+        (self.cuts.len() + self.centers.len()) * std::mem::size_of::<f64>()
+    }
+
+    /// The cut points (for serialization).
+    pub fn cuts(&self) -> &[f64] {
+        &self.cuts
+    }
+
+    /// The representative values (for serialization).
+    pub fn centers(&self) -> &[f64] {
+        &self.centers
+    }
+
+    /// Rebuild a spec from serialized parts. `cuts` must be strictly
+    /// ascending and one shorter than `centers`.
+    pub fn from_parts(cuts: Vec<f64>, centers: Vec<f64>) -> Option<Self> {
+        if centers.is_empty() || cuts.len() + 1 != centers.len() {
+            return None;
+        }
+        if cuts.windows(2).any(|w| w[0] >= w[1]) {
+            return None;
+        }
+        if cuts.iter().chain(centers.iter()).any(|v| !v.is_finite()) {
+            return None;
+        }
+        Some(Self { cuts, centers })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_cardinality_gets_one_bin_per_value() {
+        let values = vec![1.0, 2.0, 2.0, 3.0, 1.0, 3.0, 3.0];
+        let spec = BinSpec::fit(&values, 64);
+        assert_eq!(spec.num_bins(), 3);
+        assert_eq!(spec.bin_of(1.0), 0);
+        assert_eq!(spec.bin_of(2.0), 1);
+        assert_eq!(spec.bin_of(3.0), 2);
+        // Centers are exactly the unique values.
+        assert_eq!(spec.center(0), 1.0);
+        assert_eq!(spec.center(1), 2.0);
+        assert_eq!(spec.center(2), 3.0);
+    }
+
+    #[test]
+    fn high_cardinality_uses_max_bins() {
+        let values: Vec<f64> = (0..10_000).map(f64::from).collect();
+        let spec = BinSpec::fit(&values, 64);
+        assert_eq!(spec.num_bins(), 64);
+    }
+
+    #[test]
+    fn equal_frequency_property() {
+        let values: Vec<f64> = (0..6_400).map(f64::from).collect();
+        let spec = BinSpec::fit(&values, 64);
+        let mut counts = vec![0usize; spec.num_bins()];
+        for &v in &values {
+            counts[spec.bin_of(v)] += 1;
+        }
+        let expected = values.len() / spec.num_bins();
+        for &c in &counts {
+            assert!(
+                c >= expected / 2 && c <= expected * 2,
+                "bin count {c} far from expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn heavy_ties_collapse_cuts_without_panicking() {
+        // 90% of the mass on one value: quantile cuts collide.
+        let mut values = vec![5.0; 9_000];
+        values.extend((0..1_000).map(f64::from));
+        let spec = BinSpec::fit(&values, 64);
+        assert!(spec.num_bins() <= 64);
+        assert!(spec.num_bins() >= 2);
+        // Every training value maps to a bin with a finite center.
+        for &v in &values {
+            assert!(spec.center(spec.bin_of(v)).is_finite());
+        }
+    }
+
+    #[test]
+    fn centers_preserve_mean_approximately() {
+        let values: Vec<f64> = (0..5_000).map(|i| f64::from(i % 997)).collect();
+        let spec = BinSpec::fit(&values, 64);
+        let true_mean = values.iter().sum::<f64>() / values.len() as f64;
+        let binned_mean =
+            values.iter().map(|&v| spec.center(spec.bin_of(v))).sum::<f64>() / values.len() as f64;
+        assert!(
+            (true_mean - binned_mean).abs() / true_mean < 0.02,
+            "true {true_mean} binned {binned_mean}"
+        );
+    }
+
+    #[test]
+    fn out_of_range_values_land_in_edge_bins() {
+        let values: Vec<f64> = (0..100).map(f64::from).collect();
+        let spec = BinSpec::fit(&values, 10);
+        assert_eq!(spec.bin_of(-100.0), 0);
+        assert_eq!(spec.bin_of(1e9), spec.num_bins() - 1);
+    }
+
+    #[test]
+    fn single_value_column() {
+        let spec = BinSpec::fit(&[7.0; 50], 64);
+        assert_eq!(spec.num_bins(), 1);
+        assert_eq!(spec.center(0), 7.0);
+        assert_eq!(spec.bin_of(7.0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_column_panics() {
+        let _ = BinSpec::fit(&[], 64);
+    }
+
+    #[test]
+    fn size_estimate_is_small() {
+        let values: Vec<f64> = (0..100_000).map(f64::from).collect();
+        let spec = BinSpec::fit(&values, 64);
+        assert!(spec.approx_size_bytes() < 4_096);
+    }
+}

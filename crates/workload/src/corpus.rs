@@ -1,0 +1,101 @@
+//! Synthetic text corpus for request payloads (Sec. III-B-2).
+//!
+//! The paper generates the input text of each request from "some designated
+//! corpus of texts, truncated to match the number of input tokens indicated
+//! by the request's parameters". This module provides a deterministic
+//! corpus: prompts are built from a fixed vocabulary, seeded by a document
+//! index, and truncated to an exact token count (one token per word).
+
+/// Fixed vocabulary of the synthetic corpus.
+const VOCAB: &[&str] = &[
+    "the", "model", "server", "request", "token", "batch", "user", "latency", "memory", "cache",
+    "decode", "prompt", "stream", "output", "input", "sample", "search", "layer", "weight",
+    "tensor", "parallel", "cluster", "service", "deploy", "measure", "predict", "schedule",
+    "queue", "compute", "bandwidth", "profile", "throughput",
+];
+
+/// Deterministic synthetic text corpus.
+#[derive(Debug, Clone)]
+pub struct Corpus {
+    seed: u64,
+}
+
+impl Corpus {
+    /// Corpus with a document-selection seed.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+
+    /// Produce a prompt of exactly `tokens` whitespace-separated tokens for
+    /// document `doc`. Deterministic in `(seed, doc, tokens)`.
+    pub fn prompt(&self, doc: u64, tokens: u32) -> String {
+        assert!(tokens >= 1, "a prompt needs at least one token");
+        // SplitMix64 over (seed, doc) picks the starting offset and stride.
+        let mut x = self.seed ^ doc.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut next = || {
+            x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = x;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let start = (next() % VOCAB.len() as u64) as usize;
+        let stride = 1 + (next() % (VOCAB.len() as u64 - 1)) as usize;
+        let mut out = String::with_capacity(tokens as usize * 8);
+        for i in 0..tokens as usize {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(VOCAB[(start + i * stride) % VOCAB.len()]);
+        }
+        out
+    }
+
+    /// Count the tokens of a prompt produced by this corpus.
+    pub fn count_tokens(text: &str) -> u32 {
+        text.split_whitespace().count() as u32
+    }
+}
+
+impl Default for Corpus {
+    fn default() -> Self {
+        Self::new(0x5EED)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prompt_has_exact_token_count() {
+        let c = Corpus::default();
+        for tokens in [1u32, 2, 7, 64, 500, 4093] {
+            let p = c.prompt(3, tokens);
+            assert_eq!(Corpus::count_tokens(&p), tokens);
+        }
+    }
+
+    #[test]
+    fn prompts_are_deterministic() {
+        let c = Corpus::new(9);
+        assert_eq!(c.prompt(5, 20), c.prompt(5, 20));
+    }
+
+    #[test]
+    fn different_documents_differ() {
+        let c = Corpus::new(9);
+        assert_ne!(c.prompt(1, 50), c.prompt(2, 50));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        assert_ne!(Corpus::new(1).prompt(0, 50), Corpus::new(2).prompt(0, 50));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one token")]
+    fn zero_token_prompt_panics() {
+        let _ = Corpus::default().prompt(0, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! Error types of the workload crate.
+
+use std::fmt;
+
+/// Errors produced when fitting, sampling or deserializing the workload
+/// model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// The trace collection was empty.
+    EmptyTraces,
+    /// No parameters were selected for modeling.
+    NoParameters,
+    /// Malformed serialized model.
+    Parse(String),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::EmptyTraces => write!(f, "cannot fit a workload model to empty traces"),
+            WorkloadError::NoParameters => {
+                write!(f, "workload model needs at least one parameter")
+            }
+            WorkloadError::Parse(msg) => write!(f, "malformed workload model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(WorkloadError::EmptyTraces.to_string().contains("empty"));
+        assert!(WorkloadError::NoParameters.to_string().contains("parameter"));
+    }
+}

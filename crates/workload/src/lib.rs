@@ -1,0 +1,23 @@
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+//! # llmpilot-workload
+//!
+//! The paper's workload generator (Sec. III-B): a non-parametric joint
+//! model of inference-request parameters. Parameters are equal-frequency
+//! binned (≤64 bins each); the sparse histogram over multi-dimensional bins
+//! preserves the strong inter-parameter correlations of production traffic;
+//! sampling is O(1) per request via the alias method — much faster and
+//! vastly smaller than resampling the raw traces.
+
+pub mod binning;
+pub mod corpus;
+pub mod error;
+pub mod model;
+pub mod sampler;
+pub mod serialize;
+
+pub use binning::{BinSpec, DEFAULT_MAX_BINS};
+pub use corpus::Corpus;
+pub use error::WorkloadError;
+pub use model::{GeneratedRequest, WorkloadModel};
+pub use sampler::{AliasTable, IndependentSampler, TraceResampler, WorkloadSampler};

@@ -1,0 +1,334 @@
+//! The non-parametric joint model of requests (Sec. III-B-1).
+//!
+//! Each request parameter is binned ([`crate::binning`]); a
+//! *multi-dimensional bin* is a distinct combination of per-parameter bin
+//! assignments. The model stores the sparse histogram of multi-dimensional
+//! bins observed in the traces: because the parameters are strongly
+//! correlated, the overwhelming majority of theoretically possible
+//! combinations never occur (the paper observes 46.5k non-empty bins out of
+//! 10.7 *billion* possible), so the model is tiny compared to the traces it
+//! summarizes and stays roughly the same size however many traces are
+//! collected.
+
+use std::collections::HashMap;
+
+use llmpilot_traces::{Param, TraceDataset};
+
+use crate::binning::{BinSpec, DEFAULT_MAX_BINS};
+use crate::error::WorkloadError;
+
+/// A request produced by the workload generator: one value per modeled
+/// parameter (bin centers of the sampled multi-dimensional bin).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedRequest {
+    params: Vec<Param>,
+    values: Vec<f64>,
+}
+
+impl GeneratedRequest {
+    pub(crate) fn new(params: Vec<Param>, values: Vec<f64>) -> Self {
+        debug_assert_eq!(params.len(), values.len());
+        Self { params, values }
+    }
+
+    /// Value of a modeled parameter, if present.
+    pub fn get(&self, param: Param) -> Option<f64> {
+        self.params.iter().position(|&p| p == param).map(|i| self.values[i])
+    }
+
+    /// All `(parameter, value)` pairs.
+    pub fn entries(&self) -> impl Iterator<Item = (Param, f64)> + '_ {
+        self.params.iter().copied().zip(self.values.iter().copied())
+    }
+
+    /// Prompt length, if `InputTokens` is modeled (≥ 1).
+    pub fn input_tokens(&self) -> Option<u32> {
+        self.get(Param::InputTokens).map(|v| (v.round() as u32).max(1))
+    }
+
+    /// Output length, if `OutputTokens` is modeled (≥ 1).
+    pub fn output_tokens(&self) -> Option<u32> {
+        self.get(Param::OutputTokens).map(|v| (v.round() as u32).max(1))
+    }
+
+    /// Client batch size, if `BatchSize` is modeled (≥ 1).
+    pub fn batch_size(&self) -> Option<u32> {
+        self.get(Param::BatchSize).map(|v| (v.round() as u32).max(1))
+    }
+}
+
+/// The fitted joint model: per-parameter binnings plus the sparse histogram
+/// over multi-dimensional bins.
+#[derive(Debug, Clone)]
+pub struct WorkloadModel {
+    params: Vec<Param>,
+    bins: Vec<BinSpec>,
+    /// Flattened bin-assignment keys of the non-empty multi-dimensional
+    /// bins: entry `i` occupies `keys[i*d .. (i+1)*d]`.
+    keys: Vec<u16>,
+    /// Occurrence count of each non-empty multi-dimensional bin.
+    counts: Vec<u64>,
+}
+
+impl WorkloadModel {
+    /// Fit the model to a trace collection over the given parameters with at
+    /// most `max_bins` bins per parameter.
+    pub fn fit_with_bins(
+        traces: &TraceDataset,
+        params: &[Param],
+        max_bins: usize,
+    ) -> Result<Self, WorkloadError> {
+        if traces.is_empty() {
+            return Err(WorkloadError::EmptyTraces);
+        }
+        if params.is_empty() {
+            return Err(WorkloadError::NoParameters);
+        }
+        let columns: Vec<Vec<f64>> = params.iter().map(|&p| traces.column(p)).collect();
+        let bins: Vec<BinSpec> = columns.iter().map(|c| BinSpec::fit(c, max_bins)).collect();
+
+        let d = params.len();
+        let n = traces.len();
+        let mut histogram: HashMap<Vec<u16>, u64> = HashMap::new();
+        let mut key = vec![0u16; d];
+        for row in 0..n {
+            for (j, column) in columns.iter().enumerate() {
+                key[j] = bins[j].bin_of(column[row]) as u16;
+            }
+            *histogram.entry(key.clone()).or_insert(0) += 1;
+        }
+
+        let mut entries: Vec<(Vec<u16>, u64)> = histogram.into_iter().collect();
+        // Deterministic layout regardless of hash order.
+        entries.sort_unstable();
+        let mut keys = Vec::with_capacity(entries.len() * d);
+        let mut counts = Vec::with_capacity(entries.len());
+        for (k, c) in entries {
+            keys.extend_from_slice(&k);
+            counts.push(c);
+        }
+
+        Ok(Self { params: params.to_vec(), bins, keys, counts })
+    }
+
+    /// Fit with the paper's default of 64 bins per parameter.
+    pub fn fit(traces: &TraceDataset, params: &[Param]) -> Result<Self, WorkloadError> {
+        Self::fit_with_bins(traces, params, DEFAULT_MAX_BINS)
+    }
+
+    /// The modeled parameters, in key order.
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Per-parameter binning specs, in key order.
+    pub fn bins(&self) -> &[BinSpec] {
+        &self.bins
+    }
+
+    /// Number of non-empty multi-dimensional bins.
+    pub fn num_nonempty_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Number of theoretically possible multi-dimensional bins (product of
+    /// per-parameter bin counts), as `f64` since it overflows integers.
+    pub fn num_possible_bins(&self) -> f64 {
+        self.bins.iter().map(|b| b.num_bins() as f64).product()
+    }
+
+    /// Occurrence counts of the non-empty bins.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of requests the model was fitted on.
+    pub fn total_count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// The `j`-th parameter's bin index of non-empty bin `i`.
+    pub fn bin_key(&self, i: usize, j: usize) -> u16 {
+        self.keys[i * self.params.len() + j]
+    }
+
+    /// Rebuild a model from serialized parts (see [`crate::serialize`]).
+    /// Invariants (key ranges, entry counts) must already be validated.
+    pub(crate) fn from_parts(
+        params: Vec<Param>,
+        bins: Vec<BinSpec>,
+        keys: Vec<u16>,
+        counts: Vec<u64>,
+    ) -> Self {
+        debug_assert_eq!(params.len(), bins.len());
+        debug_assert_eq!(keys.len(), counts.len() * params.len());
+        Self { params, bins, keys, counts }
+    }
+
+    /// The bin-center value vector of non-empty bin `i`.
+    pub fn bin_values(&self, i: usize) -> Vec<f64> {
+        let d = self.params.len();
+        self.keys[i * d..(i + 1) * d]
+            .iter()
+            .enumerate()
+            .map(|(j, &b)| self.bins[j].center(usize::from(b)))
+            .collect()
+    }
+
+    /// Materialize non-empty bin `i` as a request.
+    pub fn request_from_bin(&self, i: usize) -> GeneratedRequest {
+        GeneratedRequest::new(self.params.clone(), self.bin_values(i))
+    }
+
+    /// Marginal histogram of one modeled parameter: `(bin center,
+    /// probability)` pairs, summed out of the joint model.
+    pub fn marginal_histogram(&self, param: Param) -> Option<Vec<(f64, f64)>> {
+        let j = self.params.iter().position(|&p| p == param)?;
+        let d = self.params.len();
+        let total = self.total_count() as f64;
+        let mut mass = vec![0.0f64; self.bins[j].num_bins()];
+        for (i, &c) in self.counts.iter().enumerate() {
+            let b = usize::from(self.keys[i * d + j]);
+            mass[b] += c as f64 / total;
+        }
+        Some(
+            mass.iter()
+                .enumerate()
+                .filter(|&(_, &m)| m > 0.0)
+                .map(|(b, &m)| (self.bins[j].center(b), m))
+                .collect(),
+        )
+    }
+
+    /// Approximate in-memory/serialized size of the model, bytes: the
+    /// quantity the paper compares against the raw traces (<1 MB model vs
+    /// 1.6 GB of traces).
+    pub fn approx_size_bytes(&self) -> usize {
+        self.keys.len() * std::mem::size_of::<u16>()
+            + self.counts.len() * std::mem::size_of::<u64>()
+            + self.bins.iter().map(BinSpec::approx_size_bytes).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_traces::{TraceGenerator, TraceGeneratorConfig};
+
+    fn traces(n: usize) -> TraceDataset {
+        TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: n,
+            seed: 21,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate()
+    }
+
+    #[test]
+    fn fit_produces_sparse_histogram() {
+        let ds = traces(30_000);
+        let model = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        assert!(model.num_nonempty_bins() > 100);
+        // Sparsity: non-empty bins are a vanishing share of possible ones.
+        assert!(
+            (model.num_nonempty_bins() as f64) < 0.001 * model.num_possible_bins(),
+            "{} of {}",
+            model.num_nonempty_bins(),
+            model.num_possible_bins()
+        );
+        assert_eq!(model.total_count(), 30_000);
+    }
+
+    #[test]
+    fn model_is_much_smaller_than_traces() {
+        let ds = traces(50_000);
+        let model = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        let model_size = model.approx_size_bytes();
+        let trace_size = ds.approx_storage_bytes();
+        assert!(
+            model_size * 5 < trace_size,
+            "model {model_size} B vs traces {trace_size} B"
+        );
+    }
+
+    #[test]
+    fn bin_values_are_within_observed_ranges() {
+        let ds = traces(10_000);
+        let model = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        for i in 0..model.num_nonempty_bins() {
+            let r = model.request_from_bin(i);
+            let input = r.input_tokens().unwrap();
+            let output = r.output_tokens().unwrap();
+            let batch = r.batch_size().unwrap();
+            assert!((1..=4093).contains(&input));
+            assert!((1..=1500).contains(&output));
+            assert!((1..=5).contains(&batch));
+        }
+    }
+
+    #[test]
+    fn marginal_histogram_sums_to_one() {
+        let ds = traces(10_000);
+        let model = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        for p in Param::core() {
+            let h = model.marginal_histogram(p).unwrap();
+            let total: f64 = h.iter().map(|&(_, m)| m).sum();
+            assert!((total - 1.0).abs() < 1e-9, "{p:?} sums to {total}");
+        }
+        assert!(model.marginal_histogram(Param::Aux(0)).is_none());
+    }
+
+    #[test]
+    fn empty_traces_and_params_are_errors() {
+        let empty = TraceDataset::default();
+        assert!(matches!(
+            WorkloadModel::fit(&empty, &Param::core()),
+            Err(WorkloadError::EmptyTraces)
+        ));
+        let ds = traces(100);
+        assert!(matches!(
+            WorkloadModel::fit(&ds, &[]),
+            Err(WorkloadError::NoParameters)
+        ));
+    }
+
+    #[test]
+    fn deterministic_layout() {
+        let ds = traces(5_000);
+        let a = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        let b = WorkloadModel::fit(&ds, &Param::core()).unwrap();
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.bin_values(0), b.bin_values(0));
+    }
+
+    #[test]
+    fn generated_request_accessors() {
+        let r = GeneratedRequest::new(
+            vec![Param::InputTokens, Param::OutputTokens, Param::Temperature],
+            vec![100.4, 50.6, 0.7],
+        );
+        assert_eq!(r.input_tokens(), Some(100));
+        assert_eq!(r.output_tokens(), Some(51));
+        assert_eq!(r.batch_size(), None);
+        assert_eq!(r.get(Param::Temperature), Some(0.7));
+        assert_eq!(r.entries().count(), 3);
+    }
+
+    #[test]
+    fn growing_traces_do_not_grow_the_model_much() {
+        // The paper: the generator "will remain approximately the same size
+        // even if a much larger amount of traces is collected". The full
+        // 8-parameter histogram is still discovering bins at these corpus
+        // sizes, so growth must at least be clearly sub-linear…
+        let small = WorkloadModel::fit(&traces(20_000), &Param::core()).unwrap();
+        let large = WorkloadModel::fit(&traces(80_000), &Param::core()).unwrap();
+        let ratio = large.approx_size_bytes() as f64 / small.approx_size_bytes() as f64;
+        assert!(ratio < 3.6, "model grew {ratio}x for 4x traces");
+        // …while a lower-dimensional model saturates outright.
+        let low = &Param::core()[..3];
+        let small = WorkloadModel::fit(&traces(20_000), low).unwrap();
+        let large = WorkloadModel::fit(&traces(80_000), low).unwrap();
+        let ratio = large.approx_size_bytes() as f64 / small.approx_size_bytes() as f64;
+        assert!(ratio < 1.6, "low-dim model grew {ratio}x for 4x traces");
+    }
+}

@@ -1,0 +1,208 @@
+//! Plain-text serialization of the fitted workload model.
+//!
+//! The paper open-sources its workload generator so that others can
+//! reproduce realistic load without access to the raw traces; this module
+//! provides the equivalent: a fitted [`WorkloadModel`] round-trips through
+//! a compact, line-oriented, versioned text format (and stays tiny — the
+//! whole point of the binned representation).
+//!
+//! Format (`llmpilot-workload v1`):
+//!
+//! ```text
+//! llmpilot-workload v1
+//! params <d>
+//! param <name>
+//! cuts <c0> <c1> …          # one line per parameter, may be empty
+//! centers <v0> <v1> …       # one line per parameter
+//! entries <k>
+//! e <bin0> … <bin(d-1)> <count>
+//! ```
+
+use llmpilot_traces::Param;
+
+use crate::binning::BinSpec;
+use crate::error::WorkloadError;
+use crate::model::WorkloadModel;
+
+impl WorkloadModel {
+    /// Serialize the model to the versioned text format.
+    pub fn to_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        out.push_str("llmpilot-workload v1\n");
+        writeln!(out, "params {}", self.params().len()).expect("write to String");
+        for (param, bins) in self.params().iter().zip(self.bins()) {
+            writeln!(out, "param {}", param.name()).expect("write to String");
+            out.push_str("cuts");
+            for c in bins.cuts() {
+                write!(out, " {c}").expect("write to String");
+            }
+            out.push('\n');
+            out.push_str("centers");
+            for c in bins.centers() {
+                write!(out, " {c}").expect("write to String");
+            }
+            out.push('\n');
+        }
+        writeln!(out, "entries {}", self.num_nonempty_bins()).expect("write to String");
+        let d = self.params().len();
+        for i in 0..self.num_nonempty_bins() {
+            out.push('e');
+            for j in 0..d {
+                write!(out, " {}", self.bin_key(i, j)).expect("write to String");
+            }
+            writeln!(out, " {}", self.counts()[i]).expect("write to String");
+        }
+        out
+    }
+
+    /// Parse a model from the text format produced by [`Self::to_text`].
+    pub fn from_text(text: &str) -> Result<Self, WorkloadError> {
+        let mut lines = text.lines();
+        let parse = |msg: &str| WorkloadError::Parse(msg.to_string());
+
+        if lines.next() != Some("llmpilot-workload v1") {
+            return Err(parse("bad or missing header"));
+        }
+        let d: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("params "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse("bad params line"))?;
+        if d == 0 {
+            return Err(WorkloadError::NoParameters);
+        }
+
+        let mut params = Vec::with_capacity(d);
+        let mut bins = Vec::with_capacity(d);
+        for _ in 0..d {
+            let name = lines
+                .next()
+                .and_then(|l| l.strip_prefix("param "))
+                .ok_or_else(|| parse("missing param line"))?;
+            let param =
+                Param::from_name(name).ok_or_else(|| parse("unknown parameter name"))?;
+            let cuts = parse_f64_list(lines.next(), "cuts").map_err(WorkloadError::Parse)?;
+            let centers =
+                parse_f64_list(lines.next(), "centers").map_err(WorkloadError::Parse)?;
+            let spec = BinSpec::from_parts(cuts, centers)
+                .ok_or_else(|| parse("inconsistent bin spec"))?;
+            params.push(param);
+            bins.push(spec);
+        }
+
+        let k: usize = lines
+            .next()
+            .and_then(|l| l.strip_prefix("entries "))
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| parse("bad entries line"))?;
+        let mut keys = Vec::with_capacity(k * d);
+        let mut counts = Vec::with_capacity(k);
+        for _ in 0..k {
+            let line = lines.next().ok_or_else(|| parse("missing entry line"))?;
+            let mut fields = line
+                .strip_prefix("e ")
+                .ok_or_else(|| parse("malformed entry line"))?
+                .split_ascii_whitespace();
+            for j in 0..d {
+                let bin: u16 = fields
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| parse("bad bin index"))?;
+                if usize::from(bin) >= bins[j].num_bins() {
+                    return Err(parse("bin index out of range"));
+                }
+                keys.push(bin);
+            }
+            let count: u64 = fields
+                .next()
+                .and_then(|s| s.parse().ok())
+                .ok_or_else(|| parse("bad count"))?;
+            if count == 0 || fields.next().is_some() {
+                return Err(parse("malformed entry line"));
+            }
+            counts.push(count);
+        }
+        if counts.is_empty() {
+            return Err(WorkloadError::EmptyTraces);
+        }
+        Ok(WorkloadModel::from_parts(params, bins, keys, counts))
+    }
+}
+
+fn parse_f64_list(line: Option<&str>, prefix: &str) -> Result<Vec<f64>, String> {
+    let line = line.ok_or_else(|| format!("missing {prefix} line"))?;
+    let rest = line
+        .strip_prefix(prefix)
+        .ok_or_else(|| format!("malformed {prefix} line"))?;
+    rest.split_ascii_whitespace()
+        .map(|s| s.parse::<f64>().map_err(|_| format!("bad float in {prefix}: {s:?}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::WorkloadSampler;
+    use llmpilot_traces::{TraceGenerator, TraceGeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model() -> WorkloadModel {
+        let traces = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 10_000,
+            seed: 61,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        WorkloadModel::fit(&traces, &Param::core()).unwrap()
+    }
+
+    #[test]
+    fn text_round_trip_is_exact() {
+        let original = model();
+        let text = original.to_text();
+        let parsed = WorkloadModel::from_text(&text).unwrap();
+        assert_eq!(parsed.params(), original.params());
+        assert_eq!(parsed.counts(), original.counts());
+        assert_eq!(parsed.num_nonempty_bins(), original.num_nonempty_bins());
+        for i in 0..original.num_nonempty_bins() {
+            assert_eq!(parsed.bin_values(i), original.bin_values(i));
+        }
+        // And re-serializing is byte-identical (canonical form).
+        assert_eq!(parsed.to_text(), text);
+    }
+
+    #[test]
+    fn round_tripped_model_samples_identically() {
+        let original = model();
+        let restored = WorkloadModel::from_text(&original.to_text()).unwrap();
+        let a = WorkloadSampler::new(original);
+        let b = WorkloadSampler::new(restored);
+        let mut r1 = StdRng::seed_from_u64(9);
+        let mut r2 = StdRng::seed_from_u64(9);
+        for _ in 0..500 {
+            assert_eq!(a.sample(&mut r1), b.sample(&mut r2));
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        assert!(WorkloadModel::from_text("").is_err());
+        assert!(WorkloadModel::from_text("wrong header\n").is_err());
+        let valid = model().to_text();
+        // Truncation.
+        let half = &valid[..valid.len() / 2];
+        assert!(WorkloadModel::from_text(half).is_err());
+        // Corrupt a count.
+        let corrupted = valid.replace("llmpilot-workload v1", "llmpilot-workload v2");
+        assert!(WorkloadModel::from_text(&corrupted).is_err());
+    }
+
+    #[test]
+    fn serialized_size_stays_small() {
+        let m = model();
+        let text = m.to_text();
+        assert!(text.len() < 4 * 1024 * 1024, "serialized {} bytes", text.len());
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based invariants of binning, the joint model and the samplers.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use llmpilot_workload::{AliasTable, BinSpec, WorkloadModel, WorkloadSampler};
+
+use llmpilot_traces::{Param, TraceGenerator, TraceGeneratorConfig};
+
+proptest! {
+    /// Every training value maps to a valid bin whose representative lies
+    /// within the observed value range.
+    #[test]
+    fn binning_is_total_and_centers_in_range(
+        values in prop::collection::vec(-1e6f64..1e6, 1..300),
+        max_bins in 1usize..100
+    ) {
+        let spec = BinSpec::fit(&values, max_bins);
+        prop_assert!(spec.num_bins() >= 1);
+        prop_assert!(spec.num_bins() <= max_bins.max(1));
+        let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &values {
+            let b = spec.bin_of(v);
+            prop_assert!(b < spec.num_bins());
+            let c = spec.center(b);
+            prop_assert!(c >= lo - 1e-9 && c <= hi + 1e-9, "center {c} outside [{lo}, {hi}]");
+        }
+    }
+
+    /// Binning is monotone: larger values never land in smaller bins.
+    #[test]
+    fn binning_is_monotone(
+        mut values in prop::collection::vec(-1e3f64..1e3, 2..200),
+        max_bins in 2usize..64
+    ) {
+        let spec = BinSpec::fit(&values, max_bins);
+        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut last = 0usize;
+        for &v in &values {
+            let b = spec.bin_of(v);
+            prop_assert!(b >= last);
+            last = b;
+        }
+    }
+
+    /// The alias table never emits a zero-weight category and always emits
+    /// valid indices.
+    #[test]
+    fn alias_table_support_is_exact(
+        weights in prop::collection::vec(0.0f64..10.0, 1..50),
+        seed in 0u64..1000
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..500 {
+            let i = table.sample(&mut rng);
+            prop_assert!(i < weights.len());
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight category {i}");
+        }
+    }
+}
+
+#[test]
+fn model_total_count_matches_traces_and_samples_hit_nonempty_bins() {
+    let traces = TraceGenerator::new(TraceGeneratorConfig {
+        num_requests: 8_000,
+        seed: 5,
+        ..TraceGeneratorConfig::default()
+    })
+    .generate();
+    let model = WorkloadModel::fit(&traces, &Param::core()).unwrap();
+    assert_eq!(model.total_count(), 8_000);
+
+    // Every sampled request equals the values of some non-empty bin.
+    let all_bins: std::collections::HashSet<String> = (0..model.num_nonempty_bins())
+        .map(|i| format!("{:?}", model.bin_values(i)))
+        .collect();
+    let sampler = WorkloadSampler::new(model);
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..2_000 {
+        let req = sampler.sample(&mut rng);
+        let values: Vec<f64> = req.entries().map(|(_, v)| v).collect();
+        assert!(all_bins.contains(&format!("{values:?}")));
+    }
+}

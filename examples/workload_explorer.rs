@@ -1,0 +1,78 @@
+//! Workload-generator exploration: fit the joint model to traces, compare
+//! marginal CDFs, and contrast joint vs independent sampling — the Sec. V-A
+//! analyses as a library walkthrough.
+//!
+//! ```text
+//! cargo run --release --example workload_explorer
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use llm_pilot::traces::{
+    spearman, summarize, EmpiricalCdf, Param, TraceGenerator, TraceGeneratorConfig,
+};
+use llm_pilot::workload::{Corpus, IndependentSampler, WorkloadModel, WorkloadSampler};
+
+fn main() {
+    let traces = TraceGenerator::new(TraceGeneratorConfig {
+        num_requests: 80_000,
+        ..TraceGeneratorConfig::default()
+    })
+    .generate();
+    println!("== trace summary (Table II analogue) ==\n{}", summarize(&traces));
+
+    let model = WorkloadModel::fit(&traces, &Param::core()).expect("non-empty traces");
+    println!(
+        "\n== fitted workload model ==\n{} non-empty bins / {:.2e} possible; {:.1} KB vs {:.1} MB of traces",
+        model.num_nonempty_bins(),
+        model.num_possible_bins(),
+        model.approx_size_bytes() as f64 / 1e3,
+        traces.approx_storage_bytes() as f64 / 1e6,
+    );
+
+    let joint = WorkloadSampler::new(model.clone());
+    let independent = IndependentSampler::new(&model);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Marginal fidelity: KS distance of generated vs empirical marginals.
+    println!("\n== marginal fidelity (Fig. 6 analogue) ==");
+    let n = 30_000;
+    let samples: Vec<_> = (0..n).map(|_| joint.sample(&mut rng)).collect();
+    for p in [Param::InputTokens, Param::OutputTokens, Param::BatchSize] {
+        let emp = EmpiricalCdf::new(traces.column(p));
+        let gen = EmpiricalCdf::new(
+            samples.iter().map(|s| s.get(p).expect("modeled")).collect(),
+        );
+        println!("{:<16} KS distance = {:.4}", p.name(), emp.ks_distance(&gen));
+    }
+
+    // Correlation preservation: joint keeps it, independent destroys it.
+    println!("\n== correlation preservation (Sec. V-A) ==");
+    let draw = |mode: &str, rng: &mut StdRng| {
+        let (mut ins, mut outs) = (Vec::new(), Vec::new());
+        for _ in 0..n {
+            let s = if mode == "joint" { joint.sample(rng) } else { independent.sample(rng) };
+            ins.push(f64::from(s.input_tokens().expect("modeled")));
+            outs.push(f64::from(s.output_tokens().expect("modeled")));
+        }
+        spearman(&ins, &outs)
+    };
+    let emp_rho =
+        spearman(&traces.column(Param::InputTokens), &traces.column(Param::OutputTokens));
+    println!("rho(input, output): empirical {:.3}", emp_rho);
+    println!("rho(input, output): joint sampler {:.3}", draw("joint", &mut rng));
+    println!("rho(input, output): independent sampler {:.3}", draw("independent", &mut rng));
+
+    // Prompt materialization from the synthetic corpus.
+    println!("\n== prompt materialization ==");
+    let corpus = Corpus::default();
+    let req = joint.sample(&mut rng);
+    let tokens = req.input_tokens().expect("modeled");
+    let prompt = corpus.prompt(1, tokens);
+    println!(
+        "request wants {tokens} input tokens; corpus produced {} tokens: {:?}...",
+        Corpus::count_tokens(&prompt),
+        prompt.chars().take(60).collect::<String>()
+    );
+}

@@ -1,0 +1,256 @@
+//! `llm-pilot` — command-line front end for the LLM-Pilot reproduction.
+//!
+//! ```text
+//! llm-pilot traces      --requests 100000 --out traces.csv
+//! llm-pilot workload    fit --traces traces.csv --out model.txt
+//! llm-pilot workload    sample --model model.txt -n 10
+//! llm-pilot feasibility
+//! llm-pilot characterize --out data.csv [--duration 120] [--llm NAME]
+//! llm-pilot recommend   --data data.csv --llm NAME [--users 200]
+//!                       [--nttft-ms 100] [--itl-ms 50]
+//! ```
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use llm_pilot::core::baselines::{LlmPilotMethod, Method, MethodInput};
+use llm_pilot::core::recommend::{LatencyConstraints, RecommendationRequest};
+use llm_pilot::core::{characterize, CharacterizationDataset, CharacterizeConfig};
+use llm_pilot::sim::gpu::paper_profiles;
+use llm_pilot::sim::llm::{llm_by_name, llm_catalog};
+use llm_pilot::sim::memory::{feasibility_matrix, MemoryConfig, MemoryModel};
+use llm_pilot::traces::{self, Param, TraceGenerator, TraceGeneratorConfig};
+use llm_pilot::workload::{WorkloadModel, WorkloadSampler};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  llm-pilot traces --requests N --out FILE\n  \
+         llm-pilot workload fit --traces FILE --out FILE\n  \
+         llm-pilot workload sample --model FILE [-n N]\n  \
+         llm-pilot feasibility\n  \
+         llm-pilot characterize --out FILE [--duration SECS] [--llm NAME]\n  \
+         llm-pilot recommend --data FILE --llm NAME [--users N] [--nttft-ms MS] [--itl-ms MS]"
+    );
+    exit(2)
+}
+
+/// Parse `--key value` pairs and positional words.
+fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
+    let mut positional = Vec::new();
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for --{key}");
+                usage();
+            }
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else if let Some(key) = args[i].strip_prefix('-') {
+            if i + 1 >= args.len() {
+                eprintln!("missing value for -{key}");
+                usage();
+            }
+            flags.insert(key.to_string(), args[i + 1].clone());
+            i += 2;
+        } else {
+            positional.push(args[i].clone());
+            i += 1;
+        }
+    }
+    (positional, flags)
+}
+
+fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
+    match flags.get(key) {
+        Some(raw) => raw.parse().unwrap_or_else(|_| {
+            eprintln!("bad value for --{key}: {raw:?}");
+            usage()
+        }),
+        None => default,
+    }
+}
+
+fn required(flags: &HashMap<String, String>, key: &str) -> String {
+    flags.get(key).cloned().unwrap_or_else(|| {
+        eprintln!("missing required --{key}");
+        usage()
+    })
+}
+
+fn cmd_traces(flags: &HashMap<String, String>) {
+    let requests: usize = flag(flags, "requests", 100_000);
+    let out = required(flags, "out");
+    let seed: u64 = flag(flags, "seed", 0xC0FFEE);
+    let ds = TraceGenerator::new(TraceGeneratorConfig {
+        num_requests: requests,
+        seed,
+        ..TraceGeneratorConfig::default()
+    })
+    .generate();
+    std::fs::write(&out, traces::to_csv(&ds)).expect("write traces CSV");
+    println!("wrote {requests} trace records to {out}");
+}
+
+fn cmd_workload(positional: &[String], flags: &HashMap<String, String>) {
+    match positional.first().map(String::as_str) {
+        Some("fit") => {
+            let traces_path = required(flags, "traces");
+            let out = required(flags, "out");
+            let text = std::fs::read_to_string(&traces_path).expect("read traces CSV");
+            let ds = traces::from_csv(&text).unwrap_or_else(|e| {
+                eprintln!("bad traces CSV: {e}");
+                exit(1)
+            });
+            let model = WorkloadModel::fit(&ds, &Param::core()).expect("non-empty traces");
+            println!(
+                "fitted: {} non-empty bins of {:.2e} possible ({} bytes)",
+                model.num_nonempty_bins(),
+                model.num_possible_bins(),
+                model.approx_size_bytes()
+            );
+            std::fs::write(&out, model.to_text()).expect("write model");
+            println!("wrote {out}");
+        }
+        Some("sample") => {
+            let model_path = required(flags, "model");
+            let n: usize = flag(flags, "n", 10);
+            let seed: u64 = flag(flags, "seed", 7);
+            let text = std::fs::read_to_string(&model_path).expect("read model");
+            let model = WorkloadModel::from_text(&text).unwrap_or_else(|e| {
+                eprintln!("bad model file: {e}");
+                exit(1)
+            });
+            let sampler = WorkloadSampler::new(model);
+            let mut rng = StdRng::seed_from_u64(seed);
+            println!("input_tokens,output_tokens,batch_size");
+            for _ in 0..n {
+                let r = sampler.sample(&mut rng);
+                println!(
+                    "{},{},{}",
+                    r.input_tokens().unwrap_or(1),
+                    r.output_tokens().unwrap_or(1),
+                    r.batch_size().unwrap_or(1)
+                );
+            }
+        }
+        _ => usage(),
+    }
+}
+
+fn cmd_feasibility() {
+    let llms = llm_catalog();
+    let profiles = paper_profiles();
+    let matrix = feasibility_matrix(&llms, &profiles, &MemoryConfig::default());
+    print!("{:<26}", "LLM");
+    for p in &profiles {
+        print!(" {:>4}", p.name().split('-').next().unwrap_or("?"));
+    }
+    println!();
+    for (i, llm) in llms.iter().enumerate() {
+        print!("{:<26}", llm.name);
+        for cell in &matrix[i] {
+            print!(" {:>4}", cell.glyph());
+        }
+        println!();
+    }
+}
+
+fn build_sampler(seed: u64) -> WorkloadSampler {
+    let ds = TraceGenerator::new(TraceGeneratorConfig {
+        num_requests: 60_000,
+        seed,
+        ..TraceGeneratorConfig::default()
+    })
+    .generate();
+    WorkloadSampler::new(WorkloadModel::fit(&ds, &Param::core()).expect("non-empty traces"))
+}
+
+fn cmd_characterize(flags: &HashMap<String, String>) {
+    let out = required(flags, "out");
+    let duration: f64 = flag(flags, "duration", 120.0);
+    let sampler = build_sampler(flag(flags, "seed", 0xC0FFEE));
+    let llms = match flags.get("llm") {
+        Some(name) => vec![llm_by_name(name).unwrap_or_else(|| {
+            eprintln!("unknown LLM {name:?}");
+            exit(1)
+        })],
+        None => llm_catalog(),
+    };
+    let config = CharacterizeConfig { duration_s: duration, ..CharacterizeConfig::default() };
+    let ds = characterize(&llms, &paper_profiles(), &sampler, &config);
+    println!("{} rows over {} feasible cells", ds.len(), ds.tuned_weights.len());
+    std::fs::write(&out, ds.to_csv()).expect("write dataset CSV");
+    println!("wrote {out}");
+}
+
+fn cmd_recommend(flags: &HashMap<String, String>) {
+    let data = required(flags, "data");
+    let llm_name = required(flags, "llm");
+    let users: u32 = flag(flags, "users", 200);
+    let nttft_ms: f64 = flag(flags, "nttft-ms", 100.0);
+    let itl_ms: f64 = flag(flags, "itl-ms", 50.0);
+
+    let Some(llm) = llm_by_name(&llm_name) else {
+        eprintln!("unknown LLM {llm_name:?}");
+        exit(1)
+    };
+    let text = std::fs::read_to_string(&data).expect("read dataset CSV");
+    let dataset = CharacterizationDataset::from_csv(&text).unwrap_or_else(|e| {
+        eprintln!("bad dataset CSV: {e}");
+        exit(1)
+    });
+    let train_rows: Vec<_> = dataset.rows_excluding_llm(&llm_name);
+    if train_rows.is_empty() {
+        eprintln!("dataset has no rows from other LLMs to learn from");
+        exit(1)
+    }
+    let request = RecommendationRequest {
+        total_users: users,
+        constraints: LatencyConstraints { nttft_s: nttft_ms / 1e3, itl_s: itl_ms / 1e3 },
+        user_grid: (0..8).map(|i| 1u32 << i).collect(),
+    };
+    let candidates: Vec<_> = paper_profiles()
+        .into_iter()
+        .filter(|p| {
+            MemoryModel::new(llm.clone(), p.clone(), MemoryConfig::default())
+                .feasibility()
+                .is_feasible()
+        })
+        .collect();
+    let input = MethodInput {
+        train_rows,
+        test_llm: &llm,
+        reference_rows: vec![],
+        profiles: &candidates,
+        request: &request,
+    };
+    match LlmPilotMethod::untuned().recommend(&input) {
+        Ok(rec) => println!(
+            "{}: {} pods of {} (predicted {} users/pod), ${:.2}/h",
+            llm.name, rec.pods, rec.profile, rec.u_max, rec.cost_per_hour
+        ),
+        Err(e) => {
+            eprintln!("no feasible recommendation: {e}");
+            exit(1)
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else { usage() };
+    let (positional, flags) = parse_args(&args[1..]);
+    match command.as_str() {
+        "traces" => cmd_traces(&flags),
+        "workload" => cmd_workload(&positional, &flags),
+        "feasibility" => cmd_feasibility(),
+        "characterize" => cmd_characterize(&flags),
+        "recommend" => cmd_recommend(&flags),
+        _ => usage(),
+    }
+}

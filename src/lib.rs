@@ -1,0 +1,21 @@
+#![forbid(unsafe_code)]
+//! # llm-pilot
+//!
+//! Facade crate of the LLM-Pilot reproduction (SC'24): re-exports the five
+//! member crates so applications can depend on a single package.
+//!
+//! * [`sim`] — GPU/LLM catalogs and the inference-service simulator.
+//! * [`traces`] — synthetic production traces and analytics.
+//! * [`workload`] — the binned joint-histogram workload generator.
+//! * [`ml`] — the from-scratch ML substrate (trees, GBDT, MLP, MF, CV).
+//! * [`core`] — the characterization pipeline and GPU recommendation tool.
+//!
+//! See `examples/` for runnable end-to-end scenarios and
+//! `crates/bench/src/bin/experiments.rs` for the paper's tables/figures.
+
+pub use llmpilot_core as core;
+pub use llmpilot_ml as ml;
+pub use llmpilot_placement as placement;
+pub use llmpilot_sim as sim;
+pub use llmpilot_traces as traces;
+pub use llmpilot_workload as workload;

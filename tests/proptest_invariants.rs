@@ -1,0 +1,124 @@
+//! Property-based invariants spanning crates: engine conservation laws,
+//! sampler distributions, recommendation math.
+
+use proptest::prelude::*;
+
+use llm_pilot::core::recommend::{pods_needed, u_max, LatencyConstraints};
+use llm_pilot::sim::cluster::split_users;
+use llm_pilot::sim::engine::Engine;
+use llm_pilot::sim::gpu::{a100_80, GpuProfile};
+use llm_pilot::sim::llm::llama2_13b;
+use llm_pilot::sim::perf_model::{PerfModel, PerfModelConfig};
+use llm_pilot::sim::request::RequestSpec;
+
+fn engine() -> Engine {
+    let perf = PerfModel::new(
+        llama2_13b(),
+        GpuProfile::new(a100_80(), 1),
+        PerfModelConfig::default(),
+    );
+    Engine::new(perf, 100_000)
+}
+
+proptest! {
+    /// Every submitted request completes, emits exactly `batch × output`
+    /// tokens (one `is_first`), and the engine drains to zero weight with a
+    /// monotone clock.
+    #[test]
+    fn engine_conserves_tokens(
+        requests in prop::collection::vec((1u32..2000, 1u32..300, 1u32..4), 1..25)
+    ) {
+        let mut e = engine();
+        let mut expected_tokens = 0u64;
+        let mut ids = Vec::new();
+        for (input, output, batch) in requests {
+            let spec = RequestSpec::batched(input, output, batch);
+            prop_assume!(spec.weight() <= e.max_batch_weight());
+            expected_tokens += spec.total_output_tokens();
+            ids.push(e.submit(spec).unwrap());
+        }
+        let mut tokens = 0u64;
+        let mut firsts = 0usize;
+        let mut completions = 0usize;
+        let mut clock = 0.0f64;
+        while e.has_work() {
+            let r = e.step();
+            prop_assert!(e.clock() >= clock);
+            clock = e.clock();
+            for em in &r.emissions {
+                tokens += u64::from(em.count);
+                firsts += usize::from(em.is_first);
+            }
+            completions += r.completions.len();
+        }
+        prop_assert_eq!(tokens, expected_tokens);
+        prop_assert_eq!(firsts, ids.len());
+        prop_assert_eq!(completions, ids.len());
+        prop_assert_eq!(e.running_weight(), 0);
+        prop_assert_eq!(e.total_tokens_emitted(), expected_tokens);
+    }
+
+    /// The running batch's weight never exceeds the configured maximum.
+    #[test]
+    fn engine_respects_weight_cap(
+        requests in prop::collection::vec((1u32..3000, 1u32..400), 1..30),
+        cap in 4_000u64..20_000
+    ) {
+        let perf = PerfModel::new(
+            llama2_13b(),
+            GpuProfile::new(a100_80(), 1),
+            PerfModelConfig::default(),
+        );
+        let mut e = Engine::new(perf, cap);
+        for (input, output) in requests {
+            let spec = RequestSpec::new(input, output);
+            if spec.weight() <= cap {
+                e.submit(spec).unwrap();
+            }
+        }
+        while e.has_work() {
+            e.step();
+            prop_assert!(e.running_weight() <= cap);
+        }
+    }
+
+    /// `u_max` returns the longest satisfying prefix of an ascending grid.
+    #[test]
+    fn u_max_is_longest_satisfying_prefix(
+        latencies in prop::collection::vec((0.0f64..0.3, 0.0f64..0.2), 1..12)
+    ) {
+        let grid: Vec<(u32, f64, f64)> = latencies
+            .iter()
+            .enumerate()
+            .map(|(i, &(l1, l2))| (1u32 << i, l1, l2))
+            .collect();
+        let c = LatencyConstraints { nttft_s: 0.1, itl_s: 0.05 };
+        let result = u_max(&grid, &c);
+        let prefix_len =
+            grid.iter().take_while(|&&(_, l1, l2)| c.satisfied_by(l1, l2)).count();
+        if prefix_len == 0 {
+            prop_assert_eq!(result, None);
+        } else {
+            prop_assert_eq!(result, Some(grid[prefix_len - 1].0));
+        }
+    }
+
+    /// `pods_needed` is the exact ceiling.
+    #[test]
+    fn pods_needed_is_exact_ceiling(total in 1u32..10_000, cap in 1u32..512) {
+        let pods = pods_needed(total, cap);
+        prop_assert!(u64::from(pods) * u64::from(cap) >= u64::from(total));
+        prop_assert!(u64::from(pods - 1) * u64::from(cap) < u64::from(total));
+    }
+
+    /// `split_users` conserves users and stays balanced within one.
+    #[test]
+    fn split_users_conserves_and_balances(total in 0u32..5_000, pods in 1u32..64) {
+        let split = split_users(total, pods);
+        prop_assert_eq!(split.len(), pods as usize);
+        prop_assert_eq!(split.iter().sum::<u32>(), total);
+        let max = *split.iter().max().unwrap();
+        let min = *split.iter().min().unwrap();
+        prop_assert!(max - min <= 1);
+    }
+}
