@@ -31,6 +31,7 @@ fn dispatch(id: &str, tune: bool) {
         "ablate_regressor" => exp::ablate::run_regressor(),
         "ablate_bins" => exp::ablate::run_bins(),
         "ablate_paged" => exp::paged::run(),
+        "resilience" => exp::resilience::run(),
         "table4" => exp::table4::run(),
         other => {
             eprintln!("unknown experiment: {other}");

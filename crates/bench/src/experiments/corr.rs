@@ -79,7 +79,7 @@ fn deltas(joint: &[f64], indep: &[f64]) -> (f64, f64) {
     let extreme = rel
         .iter()
         .copied()
-        .max_by(|a, b| a.abs().partial_cmp(&b.abs()).expect("finite"))
+        .max_by(|a, b| a.abs().total_cmp(&b.abs()))
         .unwrap_or(0.0);
     (mean, extreme)
 }

@@ -32,8 +32,8 @@ pub fn run() {
     println!();
     for (i, p) in params.iter().enumerate() {
         print!("{:>20}", p.name());
-        for j in 0..params.len() {
-            print!("{:>10.2}", m[i][j]);
+        for v in m[i].iter().take(params.len()) {
+            print!("{v:>10.2}");
         }
         println!();
     }

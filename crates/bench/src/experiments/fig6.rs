@@ -10,9 +10,11 @@ use llmpilot_workload::{WorkloadModel, WorkloadSampler};
 
 use crate::{build_traces, header, workload_params, DEFAULT_TRACE_REQUESTS};
 
-/// For each examined parameter: `(name, KS distance, rows of
-/// (value, empirical CDF, generator CDF))`.
-pub fn cdf_comparison() -> Vec<(String, f64, Vec<(f64, f64, f64)>)> {
+/// One CDF comparison point: `(value, empirical CDF, generator CDF)`.
+pub type CdfPoint = (f64, f64, f64);
+
+/// For each examined parameter: `(name, KS distance, comparison points)`.
+pub fn cdf_comparison() -> Vec<(String, f64, Vec<CdfPoint>)> {
     let traces = build_traces(DEFAULT_TRACE_REQUESTS);
     let model = WorkloadModel::fit(&traces, &workload_params()).expect("non-empty traces");
     let sampler = WorkloadSampler::new(model);

@@ -67,11 +67,11 @@ pub fn run() {
             .filter(|r| &r.profile == profile_name)
             .map(|r| r.throughput)
             .fold(0.0f64, f64::max);
-        if best_tput.map_or(true, |(_, t)| max_tput > t) {
+        if best_tput.is_none_or(|(_, t)| max_tput > t) {
             best_tput = Some((profile_name, max_tput));
         }
         let value = max_tput / spec.cost_per_hour();
-        if best_value.map_or(true, |(_, v)| value > v) {
+        if best_value.is_none_or(|(_, v)| value > v) {
             best_value = Some((profile_name, value));
         }
     }

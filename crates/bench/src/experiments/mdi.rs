@@ -46,7 +46,7 @@ pub fn importance_study(num_rows: usize) -> (f64, Vec<(String, f64)>) {
         .zip(forest.feature_importance())
         .map(|(p, &imp)| (p.name(), imp))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     (score, ranked)
 }
 

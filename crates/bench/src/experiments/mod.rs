@@ -11,6 +11,7 @@ pub mod fig8;
 pub mod mdi;
 pub mod overhead;
 pub mod paged;
+pub mod resilience;
 pub mod speed;
 pub mod table1;
 pub mod table2;
@@ -36,6 +37,7 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         ("ablate_regressor", "Ablation: sample weights x monotone constraint"),
         ("ablate_bins", "Ablation: workload-generator bin-count sweep"),
         ("ablate_paged", "Extension ablation: reservation vs paged-KV admission"),
+        ("resilience", "Fault-injected sweeps: completeness and S/O vs fault rate x retries"),
         ("table4", "Our column of the benchmarking-tool comparison table"),
     ]
 }

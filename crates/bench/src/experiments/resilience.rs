@@ -1,0 +1,112 @@
+//! Resilience: how fault-tolerant is the characterization pipeline, and
+//! what do characterization failures cost downstream?
+//!
+//! The paper's sweep (Sec. V-B) assumes every feasible cell of the
+//! LLM × GPU grid yields measurements. On real hardware cells fail:
+//! deploys flake, tuning OOMs at the weight boundary, load tests crash.
+//! This experiment injects transient faults at probability `p` into the
+//! sweep, varies the per-cell retry budget, and reports
+//!
+//! * dataset **completeness** (measured / feasible cells), and
+//! * the downstream **S/O score** of LLM-Pilot's recommender when trained
+//!   on the fault-truncated dataset, versus the fault-free dataset.
+//!
+//! The punchline: without retries, even modest fault rates lose a sizable
+//! fraction of the dataset and degrade recommendation quality; a small
+//! retry budget recovers the full dataset bit-identically (transient
+//! faults are re-drawn per attempt while measurement seeds stay fixed).
+
+use llmpilot_core::baselines::LlmPilotMethod;
+use llmpilot_core::evaluate::Evaluation;
+use llmpilot_core::{CharacterizeConfig, SweepDriver, SweepOptions};
+use llmpilot_sim::fault::{FaultConfig, FaultPlan};
+use llmpilot_sim::gpu::paper_profiles;
+use llmpilot_sim::llm::llm_catalog;
+
+use crate::{build_sampler, build_traces, header, DEFAULT_TRACE_REQUESTS, EXPERIMENT_SEED};
+
+/// Characterization config of the resilience sweeps: shorter windows than
+/// the main experiments (each configuration re-runs the whole grid), but the
+/// full default user sweep — the downstream evaluation recommends for
+/// U = 200 users and needs the complete capacity curve per cell.
+fn resilience_config() -> CharacterizeConfig {
+    CharacterizeConfig {
+        duration_s: 45.0,
+        warmup_s: 0.0,
+        ..CharacterizeConfig::default()
+    }
+}
+
+/// The S/O score of LLM-Pilot trained on `ds`, or `None` when the dataset
+/// is too truncated to evaluate (fewer than two LLMs survive).
+fn so_of(ds: &llmpilot_core::CharacterizationDataset) -> Option<f64> {
+    if ds.llms().len() < 2 {
+        return None;
+    }
+    let eval = Evaluation::new(ds, paper_profiles());
+    Some(eval.evaluate(&LlmPilotMethod::untuned()).so_score)
+}
+
+/// Run and print the experiment.
+pub fn run() {
+    header("Resilience - fault-injected sweeps x retry budgets");
+    let traces = build_traces(DEFAULT_TRACE_REQUESTS);
+    let sampler = build_sampler(&traces);
+    let llms = llm_catalog();
+    let profiles = paper_profiles();
+    let config = resilience_config();
+
+    // Fault-free baseline.
+    let (clean_ds, clean_report) = SweepDriver::new(
+        &llms,
+        &profiles,
+        &sampler,
+        config.clone(),
+        SweepOptions::default(),
+    )
+    .run()
+    .expect("no journal, no I/O to fail");
+    let clean_so = so_of(&clean_ds).expect("fault-free dataset covers the catalog");
+    println!(
+        "fault-free baseline: {} rows, {}/{} cells measured, S/O = {:.3}\n",
+        clean_ds.len(),
+        clean_report.measured(),
+        clean_report.cells.len(),
+        clean_so
+    );
+
+    println!(
+        "{:>7} {:>8} {:>10} {:>13} {:>9} {:>8} {:>9} {:>8}",
+        "p", "retries", "measured", "completeness", "rows", "S/O", "delta", "dataset"
+    );
+    for &p in &[0.1, 0.3, 0.5] {
+        for &retries in &[1u32, 3, 8, 32] {
+            let options = SweepOptions {
+                plan: FaultPlan::new(FaultConfig::transient(EXPERIMENT_SEED, p)),
+                max_attempts: retries,
+                ..SweepOptions::default()
+            };
+            let (ds, report) =
+                SweepDriver::new(&llms, &profiles, &sampler, config.clone(), options)
+                    .run()
+                    .expect("no journal, no I/O to fail");
+            let so = so_of(&ds);
+            println!(
+                "{:>7.2} {:>8} {:>10} {:>13.2} {:>9} {:>8} {:>9} {:>8}",
+                p,
+                retries,
+                format!("{}/{}", report.measured(), report.cells.len() - report.infeasible()),
+                report.completeness(),
+                ds.len(),
+                so.map(|v| format!("{v:.3}")).unwrap_or_else(|| "n/a".into()),
+                so.map(|v| format!("{:+.3}", v - clean_so)).unwrap_or_else(|| "n/a".into()),
+                if ds == clean_ds { "exact" } else { "partial" },
+            );
+        }
+    }
+    println!(
+        "\n(\"exact\" = bit-identical to the fault-free dataset: retried attempts draw fresh\n\
+         fault decisions while measurement seeds stay fixed, so recovered cells reproduce\n\
+         their fault-free rows exactly)"
+    );
+}

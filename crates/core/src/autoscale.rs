@@ -247,7 +247,7 @@ mod tests {
         let outcome = simulate_autoscaler(&cfg, 4, 14_400.0, |_| 1_000).unwrap();
         for s in &outcome.timeline {
             let total = s.ready_pods + s.starting_pods;
-            assert!(total >= 2 && total <= 5, "{s:?}");
+            assert!((2..=5).contains(&total), "{s:?}");
         }
         // Demand far exceeds max capacity: the SLA cannot be met.
         assert_eq!(outcome.sla_attainment, 0.0);
@@ -271,7 +271,7 @@ mod tests {
     #[test]
     fn scale_down_cooldown_limits_flapping() {
         // Demand oscillates every tick; scale-downs must be rate-limited.
-        let flappy = |t: f64| if (t / 30.0) as u64 % 2 == 0 { 10 } else { 100 };
+        let flappy = |t: f64| if ((t / 30.0) as u64).is_multiple_of(2) { 10 } else { 100 };
         let outcome = simulate_autoscaler(&config(), 16, 3_600.0, flappy).unwrap();
         let max_downs = (3_600.0 / 300.0) as u32 + 1;
         assert!(

@@ -12,13 +12,15 @@ use rand::SeedableRng;
 use rayon::prelude::*;
 
 use llmpilot_sim::engine::Engine;
+use llmpilot_sim::error::SimError;
+use llmpilot_sim::fault::FaultPlan;
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::LlmSpec;
-use llmpilot_sim::load::{default_user_sweep, run_load_test, LoadTestConfig};
+use llmpilot_sim::load::{default_user_sweep, run_load_test_faulty, LoadTestConfig};
 use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
 use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
 use llmpilot_sim::request::{RequestSource, RequestSpec};
-use llmpilot_sim::tuner::tune_max_batch_weight;
+use llmpilot_sim::tuner::tune_max_batch_weight_faulty;
 use llmpilot_workload::{IndependentSampler, WorkloadSampler};
 
 use crate::dataset::{CharacterizationDataset, PerfRow};
@@ -115,31 +117,147 @@ fn cell_seed(base: u64, llm: &str, profile: &str, users: u32) -> u64 {
     h
 }
 
+/// The typed result of characterizing one `(LLM, GPU profile)` cell.
+///
+/// The three variants are semantically distinct and must never be
+/// conflated: an [`CellOutcome::Infeasible`] cell is *permanently*
+/// impossible (an × or − cell of Table III — retrying is pointless), while a
+/// [`CellOutcome::Failed`] cell hit a (possibly transient) error and may
+/// succeed on retry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellOutcome {
+    /// The cell was measured successfully.
+    Measured {
+        /// The tuned maximum batch weight.
+        max_batch_weight: u64,
+        /// One row per user count of the sweep (NaN-median points dropped).
+        rows: Vec<PerfRow>,
+    },
+    /// The combination cannot be deployed, ever (Table III's × and − cells).
+    Infeasible(String),
+    /// The cell errored; the error may be transient (injected fault, budget
+    /// exhaustion) and a retry may succeed.
+    Failed {
+        /// The error of the last attempt.
+        error: SimError,
+        /// Attempts made so far (1 for a first failure).
+        attempts: u32,
+    },
+}
+
+impl CellOutcome {
+    /// The measured payload, if any.
+    pub fn measured(self) -> Option<(u64, Vec<PerfRow>)> {
+        match self {
+            CellOutcome::Measured { max_batch_weight, rows } => Some((max_batch_weight, rows)),
+            _ => None,
+        }
+    }
+
+    /// Whether the cell errored (retryable).
+    pub fn is_failed(&self) -> bool {
+        matches!(self, CellOutcome::Failed { .. })
+    }
+}
+
+/// Per-attempt resource budgets for one cell; exhausting either turns the
+/// cell into [`CellOutcome::Failed`] with [`SimError::BudgetExhausted`]
+/// instead of letting the sweep hang.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CellBudget {
+    /// Maximum engine steps across all load tests of the cell.
+    pub max_steps: Option<u64>,
+    /// Maximum virtual seconds per load test of the cell.
+    pub max_virtual_s: Option<f64>,
+}
+
+impl CellBudget {
+    /// No limits.
+    pub fn unlimited() -> Self {
+        Self::default()
+    }
+}
+
 /// Characterize one `(LLM, GPU profile)` cell: tune the batch weight, then
-/// load-test every user count. Returns `None` when the combination is
-/// infeasible (an × or − cell of Table III), along with the tuned weight
-/// otherwise.
+/// load-test every user count.
 pub fn characterize_cell(
     llm: &LlmSpec,
     profile: &GpuProfile,
     sampler: &WorkloadSampler,
     config: &CharacterizeConfig,
-) -> Option<(u64, Vec<PerfRow>)> {
-    let mem = MemoryModel::new(llm.clone(), profile.clone(), config.mem_config.clone());
-    if !mem.feasibility().is_feasible() {
-        return None;
-    }
-    let tuned = tune_max_batch_weight(&mem).ok()?;
+) -> CellOutcome {
+    characterize_cell_faulty(
+        llm,
+        profile,
+        sampler,
+        config,
+        &FaultPlan::none(),
+        0,
+        &CellBudget::unlimited(),
+    )
+}
 
+/// Fault-aware characterization of one cell, attempt number `attempt`.
+///
+/// Fault sites are derived from the cell identity *and* the attempt number
+/// (`{llm}/{profile}#a{attempt}` for deploy/tuning,
+/// `{llm}/{profile}/u{users}#a{attempt}` for each load test), so a retry
+/// draws fresh fault decisions — while the measurement seed
+/// ([`cell_seed`], attempt-independent) stays fixed. A retried attempt that
+/// dodges its faults therefore produces rows bit-identical to a fault-free
+/// run. With [`FaultPlan::none`] and an unlimited budget this is exactly
+/// [`characterize_cell`].
+pub fn characterize_cell_faulty(
+    llm: &LlmSpec,
+    profile: &GpuProfile,
+    sampler: &WorkloadSampler,
+    config: &CharacterizeConfig,
+    plan: &FaultPlan,
+    attempt: u32,
+    budget: &CellBudget,
+) -> CellOutcome {
+    let cell = format!("{}/{}", llm.name, profile.name());
+    let site = format!("{cell}#a{attempt}");
+    let attempts = attempt + 1;
+
+    let mem = MemoryModel::new(llm.clone(), profile.clone(), config.mem_config.clone());
+    let feas = mem.feasibility();
+    if !feas.is_feasible() {
+        return CellOutcome::Infeasible(format!("{feas:?}"));
+    }
+    if plan.deploy_fails(&site) {
+        return CellOutcome::Failed {
+            error: SimError::DeployFailed {
+                llm: llm.name.to_string(),
+                profile: profile.name(),
+            },
+            attempts,
+        };
+    }
+    let tuned = match tune_max_batch_weight_faulty(&mem, plan, &site) {
+        Ok(t) => t,
+        // No valid weight exists: a deterministic property of the
+        // combination, i.e. infeasible — never retried.
+        Err(e @ SimError::TuningFailed { .. }) => return CellOutcome::Infeasible(e.to_string()),
+        // Everything else (injected OOM, divergence) is a failure.
+        Err(error) => return CellOutcome::Failed { error, attempts },
+    };
+
+    let mut steps_left = budget.max_steps;
     let mut rows = Vec::with_capacity(config.user_sweep.len());
     for &users in &config.user_sweep {
+        let load_site = format!("{cell}/u{users}#a{attempt}");
         let perf = PerfModel::new(llm.clone(), profile.clone(), config.perf_config.clone());
-        let mut engine = Engine::new(perf, tuned.max_batch_weight);
+        let mut engine = Engine::new(perf, tuned.max_batch_weight)
+            .with_latency_noise(plan.latency_noise(&load_site));
         let mut source = WorkloadRequestSource::new(
             sampler.clone(),
             cell_seed(config.seed, llm.name, &profile.name(), users),
         );
-        let metrics = run_load_test(
+        let mut faults = plan.load_faults(&load_site, config.duration_s);
+        faults.max_steps = steps_left;
+        faults.max_virtual_s = budget.max_virtual_s;
+        let result = run_load_test_faulty(
             &mut engine,
             &mem,
             &mut source,
@@ -148,8 +266,17 @@ pub fn characterize_cell(
                 warmup_s: config.warmup_s,
                 concurrent_users: users,
             },
-        )
-        .ok()?;
+            &mut faults,
+        );
+        // The step budget is per cell: steps spent on this load test are
+        // gone for the remaining ones.
+        if let Some(left) = steps_left {
+            steps_left = Some(left.saturating_sub(faults.steps_used));
+        }
+        let metrics = match result {
+            Ok(m) => m,
+            Err(error) => return CellOutcome::Failed { error, attempts },
+        };
         // Pathological windows (nothing measurable post-warmup) yield NaN
         // medians; drop such points rather than poisoning the dataset.
         if !(metrics.ttft_median_s.is_finite()
@@ -169,7 +296,7 @@ pub fn characterize_cell(
             throughput: metrics.throughput_tokens_per_s,
         });
     }
-    Some((tuned.max_batch_weight, rows))
+    CellOutcome::Measured { max_batch_weight: tuned.max_batch_weight, rows }
 }
 
 /// Run the full characterization sweep over an LLM × GPU-profile grid,
@@ -186,10 +313,12 @@ pub fn characterize(
         .flat_map(|m| profiles.iter().map(move |p| (m.clone(), p.clone())))
         .collect();
 
-    let results: Vec<Option<(String, String, u64, Vec<PerfRow>)>> = cells
+    type MeasuredCell = (String, String, u64, Vec<PerfRow>);
+    let results: Vec<Option<MeasuredCell>> = cells
         .par_iter()
         .map(|(llm, profile)| {
             characterize_cell(llm, profile, sampler, config)
+                .measured()
                 .map(|(w, rows)| (llm.name.to_string(), profile.name(), w, rows))
         })
         .collect();
@@ -257,6 +386,7 @@ mod tests {
             &s,
             &quick_config(),
         )
+        .measured()
         .unwrap();
         assert!(weight > 0);
         assert_eq!(rows.len(), 3);
@@ -273,21 +403,94 @@ mod tests {
     #[test]
     fn infeasible_cells_are_skipped() {
         let s = sampler();
-        assert!(characterize_cell(
-            &flan_ul2(),
-            &GpuProfile::new(t4(), 1),
-            &s,
-            &quick_config()
-        )
-        .is_none());
+        assert!(matches!(
+            characterize_cell(&flan_ul2(), &GpuProfile::new(t4(), 1), &s, &quick_config()),
+            CellOutcome::Infeasible(_)
+        ));
         // Flash model on V100: software-unsupported.
-        assert!(characterize_cell(
-            &llama2_7b(),
-            &GpuProfile::new(v100(), 1),
+        assert!(matches!(
+            characterize_cell(&llama2_7b(), &GpuProfile::new(v100(), 1), &s, &quick_config()),
+            CellOutcome::Infeasible(_)
+        ));
+    }
+
+    #[test]
+    fn injected_load_error_is_failed_never_infeasible() {
+        // Regression: a load-test error used to be swallowed by `.ok()?`,
+        // making an errored cell indistinguishable from a permanently
+        // infeasible one. It must surface as a retryable `Failed`.
+        use llmpilot_sim::fault::{FaultConfig, FaultPlan};
+        let s = sampler();
+        let plan = FaultPlan::new(FaultConfig {
+            crash_prob: 1.0,
+            ..FaultConfig::disabled()
+        });
+        let out = characterize_cell_faulty(
+            &llama2_13b(),
+            &GpuProfile::new(a100_40(), 1),
             &s,
-            &quick_config()
-        )
-        .is_none());
+            &quick_config(),
+            &plan,
+            0,
+            &CellBudget::unlimited(),
+        );
+        match out {
+            CellOutcome::Failed { error, attempts } => {
+                assert!(matches!(error, llmpilot_sim::error::SimError::EngineCrashed { .. }));
+                assert_eq!(attempts, 1);
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_step_budget_is_failed() {
+        let s = sampler();
+        let out = characterize_cell_faulty(
+            &llama2_13b(),
+            &GpuProfile::new(a100_40(), 1),
+            &s,
+            &quick_config(),
+            &FaultPlan::none(),
+            0,
+            &CellBudget { max_steps: Some(10), max_virtual_s: None },
+        );
+        match out {
+            CellOutcome::Failed { error, .. } => {
+                assert!(matches!(error, llmpilot_sim::error::SimError::BudgetExhausted { .. }));
+            }
+            other => panic!("expected Failed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_cell_with_none_plan_matches_plain_cell() {
+        let s = sampler();
+        let llm = llama2_13b();
+        let profile = GpuProfile::new(a100_40(), 1);
+        let plain = characterize_cell(&llm, &profile, &s, &quick_config());
+        let faulty = characterize_cell_faulty(
+            &llm,
+            &profile,
+            &s,
+            &quick_config(),
+            &FaultPlan::none(),
+            0,
+            &CellBudget::unlimited(),
+        );
+        assert_eq!(plain, faulty);
+        // And a later attempt number changes nothing without faults — the
+        // measurement seed is attempt-independent.
+        let retry = characterize_cell_faulty(
+            &llm,
+            &profile,
+            &s,
+            &quick_config(),
+            &FaultPlan::none(),
+            3,
+            &CellBudget::unlimited(),
+        );
+        assert_eq!(plain, retry);
     }
 
     #[test]

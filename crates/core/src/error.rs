@@ -17,6 +17,8 @@ pub enum CoreError {
     Workload(WorkloadError),
     /// Malformed serialized data.
     Parse(String),
+    /// Journal/file I/O failure.
+    Io(String),
     /// Not enough data to train or evaluate.
     InsufficientData(String),
     /// No GPU profile can satisfy the requirements.
@@ -30,6 +32,7 @@ impl fmt::Display for CoreError {
             CoreError::Ml(e) => write!(f, "ML error: {e}"),
             CoreError::Workload(e) => write!(f, "workload error: {e}"),
             CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
+            CoreError::Io(msg) => write!(f, "I/O error: {msg}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
             CoreError::NoFeasibleRecommendation => {
                 write!(f, "no GPU profile satisfies the performance requirements")

@@ -160,7 +160,7 @@ impl<'a> Evaluation<'a> {
                     &r.profile,
                     &self.request.constraints,
                 )
-                .map_or(false, |u| {
+                .is_some_and(|u| {
                     u64::from(r.pods) * u64::from(u) >= u64::from(self.request.total_users)
                 });
                 let overspend = if success {
@@ -254,8 +254,7 @@ pub fn best_static_policy(
         })
         .max_by(|a, b| {
             a.1.so_score
-                .partial_cmp(&b.1.so_score)
-                .expect("scores are finite")
+                .total_cmp(&b.1.so_score)
                 // Deterministic tie-break: prefer fewer pods, then name.
                 .then(b.0.pods.cmp(&a.0.pods))
                 .then(b.0.profile.cmp(&a.0.profile))

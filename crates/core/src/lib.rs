@@ -27,12 +27,17 @@ pub mod evaluate;
 pub mod features;
 pub mod predictor;
 pub mod recommend;
+pub mod sweep;
 pub mod weights;
 
 pub use autoscale::{diurnal_demand, simulate_autoscaler, AutoscaleOutcome, AutoscalerConfig};
-pub use characterize::{characterize, characterize_cell, CharacterizeConfig, WorkloadRequestSource};
+pub use characterize::{
+    characterize, characterize_cell, characterize_cell_faulty, CellBudget, CellOutcome,
+    CharacterizeConfig, WorkloadRequestSource,
+};
 pub use dataset::{CharacterizationDataset, PerfRow};
 pub use error::CoreError;
+pub use sweep::{CellStatus, SweepDriver, SweepOptions, SweepReport};
 pub use evaluate::{so_score, true_u_max, Evaluation, MethodScore};
 pub use predictor::{PerformancePredictor, PredictorConfig};
 pub use recommend::{recommend, LatencyConstraints, Recommendation, RecommendationRequest};

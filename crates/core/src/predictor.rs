@@ -324,7 +324,7 @@ mod tests {
 
     #[test]
     fn unknown_names_are_rejected() {
-        let rows = vec![PerfRow {
+        let rows = [PerfRow {
             llm: "no-such-model".into(),
             profile: "1xT4-16GB".into(),
             users: 1,
@@ -352,7 +352,7 @@ mod tests {
         let config = PredictorConfig::default();
         let grid = small_hp_grid(&config.gbdt);
         let best = tune_hyperparameters(&rows, &constraints, &config, grid.clone()).unwrap();
-        assert!(grid.iter().any(|g| *g == best));
+        assert!(grid.contains(&best));
     }
 
     #[test]

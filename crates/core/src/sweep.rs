@@ -1,0 +1,839 @@
+//! Fault-tolerant, resumable characterization sweeps.
+//!
+//! On real hardware a full characterization sweep (Sec. V-B: hours of GPU
+//! time) is exactly the kind of job that dies halfway: pods crash, deploys
+//! fail transiently, a cell OOMs at the batch-weight boundary. The
+//! [`SweepDriver`] wraps [`characterize_cell_faulty`] with per-cell retry
+//! (exponential *virtual* backoff — no wall-clock sleeping in a simulator),
+//! per-cell step/virtual-time budgets, and a CSV journal so an interrupted
+//! sweep resumes where it left off without recomputing finished cells.
+//!
+//! Determinism guarantees, pinned by proptests in `tests/`:
+//!
+//! * a sweep with transient faults and enough retries produces a dataset
+//!   **bit-identical** to a fault-free sweep (measurement seeds are
+//!   attempt-independent; fault decisions are not);
+//! * an interrupted sweep resumed from its journal produces a dataset
+//!   **bit-identical** to a one-shot sweep (rows round-trip through the
+//!   journal via shortest-round-trip float formatting).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::PathBuf;
+
+use rayon::prelude::*;
+
+use llmpilot_sim::fault::FaultPlan;
+use llmpilot_sim::gpu::GpuProfile;
+use llmpilot_sim::llm::LlmSpec;
+use llmpilot_workload::WorkloadSampler;
+
+use crate::characterize::{characterize_cell_faulty, CellBudget, CellOutcome, CharacterizeConfig};
+use crate::dataset::{CharacterizationDataset, PerfRow};
+use crate::error::CoreError;
+
+/// Options of a fault-tolerant sweep.
+#[derive(Debug, Clone)]
+pub struct SweepOptions {
+    /// Faults to inject ([`FaultPlan::none`] by default).
+    pub plan: FaultPlan,
+    /// Maximum attempts per cell (≥ 1); a cell failing this many times is
+    /// recorded as failed.
+    pub max_attempts: u32,
+    /// Base of the exponential retry backoff, virtual seconds: attempt `k`
+    /// (1-based retry) waits `backoff_base_s * 2^(k-1)`. Purely virtual —
+    /// accumulated in the report, never slept.
+    pub backoff_base_s: f64,
+    /// Per-attempt engine-step budget across one cell's load tests.
+    pub max_steps_per_cell: Option<u64>,
+    /// Per-load-test virtual-time budget, seconds.
+    pub max_virtual_s_per_cell: Option<f64>,
+    /// Journal file: completed cells are appended here and skipped on the
+    /// next run. `None` disables journaling.
+    pub journal_path: Option<PathBuf>,
+    /// Process at most this many *new* cells, then stop (simulates an
+    /// interrupted sweep; used by the resume tests). `None` = all.
+    pub max_cells_per_run: Option<usize>,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        Self {
+            plan: FaultPlan::none(),
+            max_attempts: 3,
+            backoff_base_s: 10.0,
+            max_steps_per_cell: None,
+            max_virtual_s_per_cell: None,
+            journal_path: None,
+            max_cells_per_run: None,
+        }
+    }
+}
+
+/// Final status of one cell, as recorded in the report and journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CellStatus {
+    /// Measured; `retries` is the number of failed attempts before success.
+    Measured {
+        /// Tuned maximum batch weight.
+        max_batch_weight: u64,
+        /// Measurement rows of the cell.
+        rows: Vec<PerfRow>,
+        /// Attempts consumed (1 = first try succeeded).
+        attempts: u32,
+    },
+    /// Permanently infeasible (Table III × / − cell).
+    Infeasible(String),
+    /// All attempts errored; the last error, stringified.
+    Failed {
+        /// Display form of the final error.
+        error: String,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+}
+
+/// Aggregated result of a sweep: per-cell statuses in grid order plus
+/// counters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// `(llm, profile, status)` in grid order, for every cell processed so
+    /// far (including cells restored from the journal).
+    pub cells: Vec<(String, String, CellStatus)>,
+    /// Cells of the grid not yet processed (interrupted run).
+    pub pending: usize,
+    /// Cells restored from the journal instead of recomputed.
+    pub resumed: usize,
+    /// Total virtual seconds of retry backoff accrued.
+    pub backoff_virtual_s: f64,
+}
+
+impl SweepReport {
+    /// Number of measured cells.
+    pub fn measured(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, _, s)| matches!(s, CellStatus::Measured { .. }))
+            .count()
+    }
+
+    /// Number of infeasible cells.
+    pub fn infeasible(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, _, s)| matches!(s, CellStatus::Infeasible(_)))
+            .count()
+    }
+
+    /// Number of failed cells.
+    pub fn failed(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, _, s)| matches!(s, CellStatus::Failed { .. }))
+            .count()
+    }
+
+    /// Number of cells that needed more than one attempt.
+    pub fn retried(&self) -> usize {
+        self.cells
+            .iter()
+            .filter(|(_, _, s)| match s {
+                CellStatus::Measured { attempts, .. } | CellStatus::Failed { attempts, .. } => {
+                    *attempts > 1
+                }
+                CellStatus::Infeasible(_) => false,
+            })
+            .count()
+    }
+
+    /// Whether every cell of the grid has been processed.
+    pub fn is_complete(&self) -> bool {
+        self.pending == 0
+    }
+
+    /// Fraction of *feasible* cells that were measured, in `[0, 1]`
+    /// (1.0 when there are no feasible cells).
+    pub fn completeness(&self) -> f64 {
+        let feasible = self.cells.len() - self.infeasible();
+        if feasible == 0 {
+            return 1.0;
+        }
+        self.measured() as f64 / feasible as f64
+    }
+}
+
+impl fmt::Display for SweepReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "sweep: {} cells ({} measured, {} infeasible, {} failed, {} pending)",
+            self.cells.len() + self.pending,
+            self.measured(),
+            self.infeasible(),
+            self.failed(),
+            self.pending,
+        )?;
+        writeln!(
+            f,
+            "       {} retried, {} resumed from journal, {:.0}s virtual backoff",
+            self.retried(),
+            self.resumed,
+            self.backoff_virtual_s,
+        )?;
+        for (llm, profile, status) in &self.cells {
+            match status {
+                CellStatus::Measured { max_batch_weight, rows, attempts } => {
+                    if *attempts > 1 {
+                        writeln!(
+                            f,
+                            "  [ok]        {llm} on {profile}: {} rows, weight {max_batch_weight} \
+                             (after {attempts} attempts)",
+                            rows.len()
+                        )?;
+                    }
+                }
+                CellStatus::Infeasible(reason) => {
+                    writeln!(f, "  [infeasible] {llm} on {profile}: {reason}")?;
+                }
+                CellStatus::Failed { error, attempts } => {
+                    writeln!(
+                        f,
+                        "  [FAILED]     {llm} on {profile} after {attempts} attempts: {error}"
+                    )?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One-line sanitization for journal text fields: the journal is
+/// line-oriented, so embedded newlines must go.
+fn sanitize(text: &str) -> String {
+    text.replace(['\n', '\r'], " ")
+}
+
+/// Serialize one cell status as journal lines. Format (line-oriented CSV,
+/// append-only):
+///
+/// ```csv
+/// cell,<llm>,<profile>,measured,<weight>,<attempts>,<num_rows>
+/// <llm>,<profile>,<users>,<ttft>,<nttft>,<itl>,<throughput>   # dataset rows
+/// cell,<llm>,<profile>,infeasible,<reason>
+/// cell,<llm>,<profile>,failed,<attempts>,<error>
+/// ```
+///
+/// The measured marker carries its own row count so a reader can tell a
+/// complete cell from one whose trailing rows were lost to a truncated
+/// write — short windows legitimately yield fewer rows than user levels,
+/// so the count cannot be inferred from the sweep config.
+///
+/// Row lines reuse the dataset CSV format of
+/// [`CharacterizationDataset::to_csv`] verbatim, so floats round-trip
+/// bit-exactly (shortest round-trip `Display`).
+fn journal_lines(llm: &str, profile: &str, status: &CellStatus) -> String {
+    let mut out = String::new();
+    match status {
+        CellStatus::Measured { max_batch_weight, rows, attempts } => {
+            out.push_str(&format!(
+                "cell,{llm},{profile},measured,{max_batch_weight},{attempts},{}\n",
+                rows.len()
+            ));
+            for r in rows {
+                out.push_str(&format!(
+                    "{},{},{},{},{},{},{}\n",
+                    r.llm, r.profile, r.users, r.ttft_s, r.nttft_s, r.itl_s, r.throughput
+                ));
+            }
+        }
+        CellStatus::Infeasible(reason) => {
+            out.push_str(&format!("cell,{llm},{profile},infeasible,{}\n", sanitize(reason)));
+        }
+        CellStatus::Failed { error, attempts } => {
+            out.push_str(&format!(
+                "cell,{llm},{profile},failed,{attempts},{}\n",
+                sanitize(error)
+            ));
+        }
+    }
+    out
+}
+
+/// Parse a journal back into per-cell statuses. Tolerates a truncated final
+/// record (a crash mid-append): a malformed *last* line is treated as the
+/// torn tail of an interrupted write, and it — together with the cell it
+/// belongs to — is dropped and recomputed. Malformed lines anywhere else in
+/// the journal remain hard errors (the file is corrupt, not truncated).
+/// Cell statuses keyed by `(llm, profile)`.
+type CellMap = BTreeMap<(String, String), CellStatus>;
+
+/// The second element is `true` when torn-tail tolerance had to discard
+/// anything — the file on disk does not round-trip and must be rewritten,
+/// not appended to (appending after a line without a trailing newline would
+/// glue the next marker onto the torn fragment).
+fn parse_journal(text: &str) -> Result<(CellMap, bool), CoreError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut cells = BTreeMap::new();
+    let mut current: Option<JournalCell> = None;
+    let mut dirty = false;
+    for (lineno, raw) in lines.iter().enumerate() {
+        match parse_journal_line(raw, lineno, &mut cells, &mut current) {
+            Ok(()) => {}
+            Err(_) if lineno + 1 == lines.len() => {
+                // Torn tail: forget the partial line and the cell it was
+                // part of; the driver recomputes that cell.
+                current = None;
+                dirty = true;
+                break;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    if let Some(cell) = current.take() {
+        // A measured cell short of its declared row count at end-of-file is
+        // the other truncation shape (cut exactly at a line boundary):
+        // drop it for recomputation.
+        if cell.is_complete() {
+            cells.insert(cell.key, cell.status);
+        } else {
+            dirty = true;
+        }
+    }
+    Ok((cells, dirty))
+}
+
+/// A cell being accumulated during journal parsing, together with the row
+/// count its marker declared.
+struct JournalCell {
+    key: (String, String),
+    status: CellStatus,
+    declared_rows: usize,
+}
+
+impl JournalCell {
+    fn is_complete(&self) -> bool {
+        match &self.status {
+            CellStatus::Measured { rows, .. } => rows.len() == self.declared_rows,
+            _ => true,
+        }
+    }
+}
+
+/// Parse one journal line into the accumulating state; an `Err` means the
+/// line is malformed (the caller decides whether that is fatal).
+fn parse_journal_line(
+    line: &str,
+    lineno: usize,
+    cells: &mut CellMap,
+    current: &mut Option<JournalCell>,
+) -> Result<(), CoreError> {
+    let line = line.trim_end();
+    if line.is_empty() {
+        return Ok(());
+    }
+    let bad =
+        |what: &str| CoreError::Parse(format!("journal line {}: {what}: {line:?}", lineno + 1));
+    {
+        if let Some(rest) = line.strip_prefix("cell,") {
+            if let Some(cell) = current.take() {
+                // Rows missing although the file kept going: corruption,
+                // not truncation.
+                if !cell.is_complete() {
+                    return Err(bad("previous measured cell is missing rows"));
+                }
+                cells.insert(cell.key, cell.status);
+            }
+            let fields: Vec<&str> = rest.split(',').collect();
+            if fields.len() < 3 {
+                return Err(bad("short cell marker"));
+            }
+            let key = (fields[0].to_string(), fields[1].to_string());
+            let (status, declared_rows) = match fields[2] {
+                "measured" => {
+                    if fields.len() < 6 {
+                        return Err(bad("short measured marker"));
+                    }
+                    let status = CellStatus::Measured {
+                        max_batch_weight: fields[3]
+                            .parse()
+                            .map_err(|_| bad("bad batch weight"))?,
+                        rows: Vec::new(),
+                        attempts: fields[4].parse().map_err(|_| bad("bad attempts"))?,
+                    };
+                    (status, fields[5].parse().map_err(|_| bad("bad row count"))?)
+                }
+                "infeasible" => (CellStatus::Infeasible(fields[3..].join(",")), 0),
+                "failed" => {
+                    if fields.len() < 5 {
+                        return Err(bad("short failed marker"));
+                    }
+                    let status = CellStatus::Failed {
+                        attempts: fields[3].parse().map_err(|_| bad("bad attempts"))?,
+                        error: fields[4..].join(","),
+                    };
+                    (status, 0)
+                }
+                other => return Err(bad(&format!("unknown status {other:?}"))),
+            };
+            *current = Some(JournalCell { key, status, declared_rows });
+        } else {
+            // A dataset row belonging to the current measured cell.
+            let Some(JournalCell { status: CellStatus::Measured { rows, .. }, .. }) =
+                current.as_mut()
+            else {
+                return Err(bad("dataset row outside a measured cell"));
+            };
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != 7 {
+                return Err(bad("expected 7 row fields"));
+            }
+            let parse_f =
+                |s: &str| s.parse::<f64>().map_err(|_| bad(&format!("bad float {s:?}")));
+            rows.push(PerfRow {
+                llm: fields[0].to_string(),
+                profile: fields[1].to_string(),
+                users: fields[2].parse().map_err(|_| bad("bad users"))?,
+                ttft_s: parse_f(fields[3])?,
+                nttft_s: parse_f(fields[4])?,
+                itl_s: parse_f(fields[5])?,
+                throughput: parse_f(fields[6])?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Fault-tolerant, resumable driver of the characterization sweep.
+pub struct SweepDriver<'a> {
+    llms: &'a [LlmSpec],
+    profiles: &'a [GpuProfile],
+    sampler: &'a WorkloadSampler,
+    config: CharacterizeConfig,
+    options: SweepOptions,
+}
+
+impl<'a> SweepDriver<'a> {
+    /// Build a driver over the `llms × profiles` grid.
+    pub fn new(
+        llms: &'a [LlmSpec],
+        profiles: &'a [GpuProfile],
+        sampler: &'a WorkloadSampler,
+        config: CharacterizeConfig,
+        options: SweepOptions,
+    ) -> Self {
+        assert!(options.max_attempts >= 1, "at least one attempt per cell");
+        Self { llms, profiles, sampler, config, options }
+    }
+
+    /// Run one cell to completion: retry with exponential virtual backoff
+    /// until measured, infeasible, or out of attempts. Returns the status
+    /// and the backoff accrued.
+    fn run_cell(&self, llm: &LlmSpec, profile: &GpuProfile) -> (CellStatus, f64) {
+        let budget = CellBudget {
+            max_steps: self.options.max_steps_per_cell,
+            max_virtual_s: self.options.max_virtual_s_per_cell,
+        };
+        let mut backoff = 0.0;
+        let mut attempt = 0;
+        loop {
+            let outcome = characterize_cell_faulty(
+                llm,
+                profile,
+                self.sampler,
+                &self.config,
+                &self.options.plan,
+                attempt,
+                &budget,
+            );
+            attempt += 1;
+            match outcome {
+                CellOutcome::Measured { max_batch_weight, rows } => {
+                    return (
+                        CellStatus::Measured { max_batch_weight, rows, attempts: attempt },
+                        backoff,
+                    );
+                }
+                CellOutcome::Infeasible(reason) => {
+                    return (CellStatus::Infeasible(reason), backoff);
+                }
+                CellOutcome::Failed { error, .. } => {
+                    if attempt >= self.options.max_attempts {
+                        return (
+                            CellStatus::Failed { error: error.to_string(), attempts: attempt },
+                            backoff,
+                        );
+                    }
+                    backoff += self.options.backoff_base_s * (2.0f64).powi((attempt - 1).min(60) as i32);
+                }
+            }
+        }
+    }
+
+    /// Run the sweep (or the next chunk of it, under
+    /// [`SweepOptions::max_cells_per_run`]), resuming from the journal if
+    /// one exists. Returns the dataset over every completed cell, assembled
+    /// in grid order — so a resumed sweep's dataset is bit-identical to a
+    /// one-shot sweep's, regardless of which run measured which cell.
+    pub fn run(&self) -> Result<(CharacterizationDataset, SweepReport), CoreError> {
+        let grid: Vec<(&LlmSpec, &GpuProfile)> = self
+            .llms
+            .iter()
+            .flat_map(|m| self.profiles.iter().map(move |p| (m, p)))
+            .collect();
+
+        // Restore finished cells from the journal.
+        let (mut done, journal_dirty): (CellMap, bool) =
+            match &self.options.journal_path {
+                Some(path) if path.exists() => {
+                    let text = std::fs::read_to_string(path)
+                        .map_err(|e| CoreError::Io(format!("reading journal {path:?}: {e}")))?;
+                    parse_journal(&text)?
+                }
+                _ => (BTreeMap::new(), false),
+            };
+        let resumed = done.len();
+
+        // Cells still to process, in grid order, capped per run.
+        let todo: Vec<(&LlmSpec, &GpuProfile)> = grid
+            .iter()
+            .filter(|(m, p)| !done.contains_key(&(m.name.to_string(), p.name())))
+            .take(self.options.max_cells_per_run.unwrap_or(usize::MAX))
+            .copied()
+            .collect();
+
+        let results: Vec<((String, String), (CellStatus, f64))> = todo
+            .par_iter()
+            .map(|(llm, profile)| {
+                ((llm.name.to_string(), profile.name()), self.run_cell(llm, profile))
+            })
+            .collect();
+
+        // Append the new cells to the journal (grid order) before reporting.
+        let mut backoff_virtual_s = 0.0;
+        let mut journal_append = String::new();
+        for ((llm, profile), (status, backoff)) in results {
+            backoff_virtual_s += backoff;
+            journal_append.push_str(&journal_lines(&llm, &profile, &status));
+            done.insert((llm, profile), status);
+        }
+        if let Some(path) = &self.options.journal_path {
+            if journal_dirty {
+                // Heal a torn journal: rewrite it whole from every known
+                // cell rather than appending after the torn fragment.
+                let mut full = String::new();
+                for ((llm, profile), status) in &done {
+                    full.push_str(&journal_lines(llm, profile, status));
+                }
+                std::fs::write(path, full)
+                    .map_err(|e| CoreError::Io(format!("rewriting journal {path:?}: {e}")))?;
+            } else if !journal_append.is_empty() {
+                use std::io::Write as _;
+                let mut file = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(path)
+                    .map_err(|e| CoreError::Io(format!("opening journal {path:?}: {e}")))?;
+                file.write_all(journal_append.as_bytes())
+                    .map_err(|e| CoreError::Io(format!("appending journal {path:?}: {e}")))?;
+            }
+        }
+
+        // Assemble dataset and report in grid order.
+        let mut ds = CharacterizationDataset::default();
+        let mut cells = Vec::with_capacity(done.len());
+        let mut pending = 0;
+        for (llm, profile) in &grid {
+            let key = (llm.name.to_string(), profile.name());
+            match done.get(&key) {
+                Some(status) => {
+                    if let CellStatus::Measured { max_batch_weight, rows, .. } = status {
+                        ds.tuned_weights.insert(key.clone(), *max_batch_weight);
+                        ds.rows.extend(rows.iter().cloned());
+                    }
+                    cells.push((key.0, key.1, status.clone()));
+                }
+                None => pending += 1,
+            }
+        }
+        Ok((ds, SweepReport { cells, pending, resumed, backoff_virtual_s }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_sim::fault::FaultConfig;
+    use llmpilot_sim::gpu::{a100_40, t4};
+    use llmpilot_sim::llm::{flan_t5_xl, llama2_7b};
+    use llmpilot_traces::{Param, TraceGenerator, TraceGeneratorConfig};
+    use llmpilot_workload::WorkloadModel;
+
+    fn sampler() -> WorkloadSampler {
+        let traces = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 20_000,
+            seed: 55,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let model = WorkloadModel::fit(
+            &traces,
+            &[Param::InputTokens, Param::OutputTokens, Param::BatchSize],
+        )
+        .unwrap();
+        WorkloadSampler::new(model)
+    }
+
+    fn quick_config() -> CharacterizeConfig {
+        CharacterizeConfig {
+            duration_s: 15.0,
+            user_sweep: vec![1, 8],
+            ..CharacterizeConfig::default()
+        }
+    }
+
+    fn grid() -> (Vec<LlmSpec>, Vec<GpuProfile>) {
+        (
+            vec![flan_t5_xl(), llama2_7b()],
+            vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1)],
+        )
+    }
+
+    #[test]
+    fn fault_free_sweep_equals_plain_characterize() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let driver =
+            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default());
+        let (ds, report) = driver.run().unwrap();
+        let plain = crate::characterize::characterize(&llms, &profiles, &s, &quick_config());
+        assert_eq!(ds, plain);
+        assert!(report.is_complete());
+        assert_eq!(report.measured(), 3); // llama2-7b doesn't fit 1xT4
+        assert_eq!(report.infeasible(), 1);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(report.completeness(), 1.0);
+    }
+
+    #[test]
+    fn transient_faults_with_retries_recover_the_full_dataset() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let clean =
+            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
+                .run()
+                .unwrap()
+                .0;
+        let options = SweepOptions {
+            // p = 0.4 on deploy + tuning + two load tests leaves only a
+            // ~13% success chance per attempt; 64 attempts push the
+            // all-fail probability per cell below 2e-4.
+            plan: FaultPlan::new(FaultConfig::transient(7, 0.4)),
+            max_attempts: 64,
+            ..SweepOptions::default()
+        };
+        let (ds, report) = SweepDriver::new(&llms, &profiles, &s, quick_config(), options)
+            .run()
+            .unwrap();
+        assert_eq!(ds, clean, "recovered dataset must be bit-identical");
+        assert_eq!(report.failed(), 0);
+    }
+
+    #[test]
+    fn exhausted_retries_record_failed_cells() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let options = SweepOptions {
+            plan: FaultPlan::new(FaultConfig {
+                deploy_failure_prob: 1.0,
+                ..FaultConfig::disabled()
+            }),
+            max_attempts: 2,
+            ..SweepOptions::default()
+        };
+        let (ds, report) = SweepDriver::new(&llms, &profiles, &s, quick_config(), options)
+            .run()
+            .unwrap();
+        assert!(ds.is_empty());
+        assert_eq!(report.failed(), 3);
+        assert_eq!(report.infeasible(), 1); // infeasibility checked pre-deploy
+        assert_eq!(report.completeness(), 0.0);
+        for (_, _, status) in &report.cells {
+            if let CellStatus::Failed { error, attempts } = status {
+                assert_eq!(*attempts, 2);
+                assert!(error.contains("transient deployment failure"), "{error}");
+            }
+        }
+        assert!(report.backoff_virtual_s > 0.0);
+    }
+
+    #[test]
+    fn interrupted_sweep_resumes_bit_identically() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let one_shot =
+            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
+                .run()
+                .unwrap()
+                .0;
+
+        let dir = std::env::temp_dir().join(format!("llmpilot-sweep-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("journal.csv");
+        let _ = std::fs::remove_file(&journal);
+
+        let options = SweepOptions {
+            journal_path: Some(journal.clone()),
+            max_cells_per_run: Some(1),
+            ..SweepOptions::default()
+        };
+        let driver = SweepDriver::new(&llms, &profiles, &s, quick_config(), options);
+        let mut runs = 0;
+        let (ds, report) = loop {
+            let (ds, report) = driver.run().unwrap();
+            runs += 1;
+            assert!(runs <= 8, "sweep failed to converge");
+            if report.is_complete() {
+                break (ds, report);
+            }
+        };
+        assert_eq!(runs, 4, "one run per cell of the 2x2 grid");
+        assert_eq!(report.resumed, 3);
+        assert_eq!(ds, one_shot, "resumed dataset must be bit-identical");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn journal_round_trips_all_statuses() {
+        let row = PerfRow {
+            llm: "m".into(),
+            profile: "p".into(),
+            users: 8,
+            ttft_s: 0.1234567890123,
+            nttft_s: 3.3e-4,
+            itl_s: 0.025,
+            throughput: 1234.5678,
+        };
+        let statuses = vec![
+            (
+                "m".to_string(),
+                "p".to_string(),
+                CellStatus::Measured {
+                    max_batch_weight: 42_000,
+                    rows: vec![row],
+                    attempts: 3,
+                },
+            ),
+            ("m".to_string(), "q".to_string(), CellStatus::Infeasible("won't, ever".into())),
+            (
+                "n".to_string(),
+                "p".to_string(),
+                CellStatus::Failed { error: "crashed, badly".into(), attempts: 2 },
+            ),
+        ];
+        let mut text = String::new();
+        for (llm, profile, status) in &statuses {
+            text.push_str(&journal_lines(llm, profile, status));
+        }
+        let (parsed, dirty) = parse_journal(&text).unwrap();
+        assert!(!dirty);
+        assert_eq!(parsed.len(), 3);
+        for (llm, profile, status) in &statuses {
+            assert_eq!(parsed[&(llm.clone(), profile.clone())], *status);
+        }
+    }
+
+    #[test]
+    fn journal_rejects_garbage_before_the_final_line() {
+        // A malformed line anywhere but the tail means corruption, not
+        // truncation: the valid trailing marker proves writes continued.
+        let tail = "cell,m,q,infeasible,nope\n";
+        assert!(parse_journal(&format!("m,p,8,0.1,0.2,0.3,4\n{tail}")).is_err());
+        assert!(parse_journal(&format!("cell,m,p,bogus,1\n{tail}")).is_err());
+        assert!(parse_journal(&format!("cell,m,p,measured\n{tail}")).is_err());
+    }
+
+    #[test]
+    fn journal_tolerates_a_torn_tail() {
+        let complete = "cell,m,p,infeasible,nope\n";
+        // Torn mid-marker: the partial cell is dropped, the complete one kept.
+        let (parsed, dirty) = parse_journal(&format!("{complete}cell,n,p,meas")).unwrap();
+        assert!(dirty);
+        assert_eq!(parsed.len(), 1);
+        assert!(parsed.contains_key(&("m".to_string(), "p".to_string())));
+        // Torn mid-row: the measured cell the row belongs to is dropped too.
+        let torn = format!("{complete}cell,n,p,measured,1000,1,2\nn,p,8,0.1,0.2");
+        let (parsed, dirty) = parse_journal(&torn).unwrap();
+        assert!(dirty);
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed.contains_key(&("n".to_string(), "p".to_string())));
+        // Torn exactly at a line boundary: the marker declares 2 rows but
+        // only 1 survived — the cell is dropped for recomputation.
+        let boundary =
+            format!("{complete}cell,n,p,measured,1000,1,2\nn,p,1,0.1,0.2,0.3,4\n");
+        let (parsed, dirty) = parse_journal(&boundary).unwrap();
+        assert!(dirty);
+        assert_eq!(parsed.len(), 1);
+        assert!(!parsed.contains_key(&("n".to_string(), "p".to_string())));
+        // A journal that is nothing but a torn tail parses to empty.
+        let (parsed, dirty) = parse_journal("cell,m,p,measured\n").unwrap();
+        assert!(dirty);
+        assert!(parsed.is_empty());
+        // An intact journal is not dirty.
+        let (_, dirty) = parse_journal(complete).unwrap();
+        assert!(!dirty);
+    }
+
+    #[test]
+    fn journal_rejects_a_short_cell_mid_file() {
+        // Rows missing while the file kept going is corruption, not a torn
+        // tail — the parser must refuse rather than resume from bad data.
+        // (Two trailing cells: were the short cell followed only by the
+        // final line, the torn-tail rule would drop it instead.)
+        let text = "cell,n,p,measured,1000,1,2\nn,p,1,0.1,0.2,0.3,4\n\
+                    cell,m,p,infeasible,nope\ncell,m,q,infeasible,nope\n";
+        assert!(parse_journal(text).is_err());
+    }
+
+    #[test]
+    fn resume_recomputes_a_cell_truncated_at_a_line_boundary() {
+        let sampler = sampler();
+        let (llms, profiles) = grid();
+        let config = quick_config();
+        let dir = std::env::temp_dir().join(format!("sweep_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let journal = dir.join("torn.csv");
+        let one_shot = SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
+            .run()
+            .unwrap()
+            .0;
+        // Run once journaled, then tear the journal: drop the last line (a
+        // whole dataset row — the boundary case the parser cannot detect)
+        // plus a few bytes of the one before.
+        let opts = || SweepOptions {
+            journal_path: Some(journal.clone()),
+            ..SweepOptions::default()
+        };
+        SweepDriver::new(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
+        let text = std::fs::read_to_string(&journal).unwrap();
+        let keep: Vec<&str> = text.lines().collect();
+        let torn = format!("{}\n{}", keep[..keep.len() - 2].join("\n"), &keep[keep.len() - 2][..10]);
+        std::fs::write(&journal, torn).unwrap();
+        // Resume must recompute the damaged cell and still match one-shot.
+        let (ds, report) =
+            SweepDriver::new(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
+        assert_eq!(ds, one_shot, "post-tear resume must be bit-identical");
+        assert_eq!(report.pending, 0);
+        // The resume must also have healed the journal: it now parses clean
+        // and a further resume recomputes nothing.
+        let healed = std::fs::read_to_string(&journal).unwrap();
+        let (_, dirty) = parse_journal(&healed).unwrap();
+        assert!(!dirty, "journal must be rewritten whole after a tear");
+        let (ds, report) =
+            SweepDriver::new(&llms, &profiles, &sampler, config, opts()).run().unwrap();
+        assert_eq!(ds, one_shot);
+        assert_eq!(report.resumed, report.cells.len(), "all cells resume from the healed journal");
+        let _ = std::fs::remove_file(&journal);
+        let _ = std::fs::remove_dir(&dir);
+    }
+}

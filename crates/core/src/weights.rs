@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn rows_at_the_constraint_get_weight_one() {
-        let rows = vec![
+        let rows = [
             row("m", "p", 1, 0.1, 0.05), // exactly at both constraints
             row("m", "p", 2, 0.5, 0.25), // far from both
         ];
@@ -81,7 +81,7 @@ mod tests {
 
     #[test]
     fn weights_decrease_with_distance() {
-        let rows = vec![
+        let rows = [
             row("m", "p", 1, 0.09, 0.049),
             row("m", "p", 2, 0.2, 0.1),
             row("m", "p", 4, 0.8, 0.4),
@@ -97,7 +97,7 @@ mod tests {
     fn normalization_is_per_cell() {
         // Two cells with very different latency scales: the nearest point of
         // each cell must get the cell's top weight.
-        let rows = vec![
+        let rows = [
             row("m", "p", 1, 0.11, 0.05),
             row("m", "p", 2, 1.0, 0.5),
             row("m", "q", 1, 0.5, 0.2),
@@ -113,7 +113,7 @@ mod tests {
 
     #[test]
     fn degenerate_cell_gets_weight_one() {
-        let rows = vec![row("m", "p", 1, 0.1, 0.05), row("m", "p", 2, 0.1, 0.05)];
+        let rows = [row("m", "p", 1, 0.1, 0.05), row("m", "p", 2, 0.1, 0.05)];
         let refs: Vec<&PerfRow> = rows.iter().collect();
         let w = constraint_proximity_weights(&refs, &L);
         assert_eq!(w, vec![1.0, 1.0]);
@@ -123,7 +123,7 @@ mod tests {
     fn combined_weight_is_mean_of_both_terms() {
         // First row: at the nTTFT constraint but far on ITL; second the
         // reverse; third far on both.
-        let rows = vec![
+        let rows = [
             row("m", "p", 1, 0.1, 0.5),
             row("m", "p", 2, 1.0, 0.05),
             row("m", "p", 4, 1.0, 0.5),

@@ -82,7 +82,7 @@ where
     let (best_idx, &best_error) = all_errors
         .iter()
         .enumerate()
-        .min_by(|a, b| a.1.partial_cmp(b.1).expect("errors are not NaN"))
+        .min_by(|a, b| a.1.total_cmp(b.1))
         .expect("candidates nonempty");
     GridSearchResult { best: candidates[best_idx].clone(), best_error, all_errors }
 }

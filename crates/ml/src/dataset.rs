@@ -25,7 +25,7 @@ impl Dataset {
         if n_cols == 0 {
             return Err(MlError::Shape("dataset needs at least one feature".into()));
         }
-        if features.len() % n_cols != 0 {
+        if !features.len().is_multiple_of(n_cols) {
             return Err(MlError::Shape(format!(
                 "feature buffer of {} values is not a multiple of {} columns",
                 features.len(),

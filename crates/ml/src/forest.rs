@@ -4,7 +4,7 @@
 //! RF baselines (Sec. V-C).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
 use crate::dataset::Dataset;

@@ -12,7 +12,7 @@
 //! cannot re-introduce a violation.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
@@ -223,8 +223,8 @@ impl TreeBuilder<'_> {
                 self.params.monotone_constraints.get(f).copied().unwrap_or(0);
 
             let mut left = GradPair::default();
-            for b in 0..nbins - 1 {
-                left.add(hist[b].g, hist[b].h);
+            for (b, pair) in hist.iter().take(nbins - 1).enumerate() {
+                left.add(pair.g, pair.h);
                 let right = GradPair { g: total.g - left.g, h: total.h - left.h };
                 if left.h < self.params.min_child_weight
                     || right.h < self.params.min_child_weight
@@ -360,8 +360,8 @@ impl Gbdt {
             builder.build(rows, 0, (f64::NEG_INFINITY, f64::INFINITY));
             let tree = HistTree { nodes: builder.nodes };
 
-            for i in 0..n {
-                pred[i] += params.learning_rate * tree.predict_row(ds.row(i));
+            for (i, p) in pred.iter_mut().enumerate().take(n) {
+                *p += params.learning_rate * tree.predict_row(ds.row(i));
             }
             trees.push(tree);
 

@@ -22,7 +22,7 @@ impl FeatureBins {
         let cuts = (0..ds.n_cols())
             .map(|f| {
                 let mut col: Vec<f64> = (0..n).map(|i| ds.value(i, f)).collect();
-                col.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                col.sort_by(|a, b| a.total_cmp(b));
                 col.dedup();
                 if col.len() <= max_bins {
                     // Low cardinality: cut between consecutive unique values.
@@ -32,7 +32,7 @@ impl FeatureBins {
                     for k in 1..max_bins {
                         let idx = (k * col.len()) / max_bins;
                         let c = col[idx.min(col.len() - 1)];
-                        if cuts.last().map_or(true, |&last| c > last) {
+                        if cuts.last().is_none_or(|&last| c > last) {
                             cuts.push(c);
                         }
                     }

@@ -9,7 +9,7 @@
 //! L2 regularization.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::error::MlError;
 

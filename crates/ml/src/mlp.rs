@@ -8,7 +8,7 @@
 //! provides.
 
 use rand::rngs::StdRng;
-use rand::{Rng, RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::dataset::Dataset;
 use crate::error::MlError;
@@ -251,10 +251,10 @@ impl Mlp {
                 }
                 // Propagate delta through weights and the previous ReLU.
                 let mut prev = vec![0.0; layer.inputs];
-                for o in 0..layer.outputs {
+                for (o, d) in delta.iter().enumerate().take(layer.outputs) {
                     let row = &layer.w[o * layer.inputs..(o + 1) * layer.inputs];
                     for (p, wv) in prev.iter_mut().zip(row) {
-                        *p += delta[o] * wv;
+                        *p += d * wv;
                     }
                 }
                 for (p, a) in prev.iter_mut().zip(&activations[li]) {

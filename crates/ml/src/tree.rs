@@ -186,7 +186,7 @@ impl DecisionTree {
                 let i = i as usize;
                 (ds.value(i, f), ds.targets()[i], ds.weight(i))
             }));
-            sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite features"));
+            sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
             let mut left = SseStats::default();
             let mut right = *parent;

@@ -26,7 +26,7 @@ pub fn solve_greedy(problem: &PlacementProblem) -> Placement {
         let mut best: Option<(usize, f64)> = None;
         for (j, option) in t.options.iter().enumerate() {
             if inventory.fits(&option.gpu_type, option.gpus_needed())
-                && best.map_or(true, |(_, c)| option.cost_per_hour < c)
+                && best.is_none_or(|(_, c)| option.cost_per_hour < c)
             {
                 best = Some((j, option.cost_per_hour));
             }
@@ -47,8 +47,8 @@ pub fn solve_greedy(problem: &PlacementProblem) -> Placement {
     let mut improved = true;
     while improved {
         improved = false;
-        for i in 0..n {
-            let Some(current) = choices[i] else { continue };
+        for (i, choice) in choices.iter_mut().enumerate() {
+            let Some(current) = *choice else { continue };
             let current_option = &problem.tenants[i].options[current];
             inventory.give_back(&current_option.gpu_type, current_option.gpus_needed());
             let best = place_cheapest(i, &mut inventory).expect("current option still fits");
@@ -57,12 +57,12 @@ pub fn solve_greedy(problem: &PlacementProblem) -> Placement {
             {
                 improved = true;
             }
-            choices[i] = Some(best);
+            *choice = Some(best);
         }
-        for i in 0..n {
-            if choices[i].is_none() {
+        for (i, choice) in choices.iter_mut().enumerate() {
+            if choice.is_none() {
                 if let Some(j) = place_cheapest(i, &mut inventory) {
-                    choices[i] = Some(j);
+                    *choice = Some(j);
                     improved = true;
                 }
             }
@@ -131,8 +131,7 @@ pub fn solve_exact(problem: &PlacementProblem) -> Placement {
         option_order.sort_by(|&a, &b| {
             problem.tenants[idx].options[a]
                 .cost_per_hour
-                .partial_cmp(&problem.tenants[idx].options[b].cost_per_hour)
-                .expect("finite costs")
+                .total_cmp(&problem.tenants[idx].options[b].cost_per_hour)
         });
         for j in option_order {
             let option = &problem.tenants[idx].options[j];
@@ -212,7 +211,7 @@ mod tests {
     #[test]
     fn exact_matches_or_beats_greedy_on_random_instances() {
         use rand::rngs::StdRng;
-        use rand::{RngExt, SeedableRng};
+        use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(13);
         for _ in 0..30 {
             let gpu_types = ["A", "B", "C"];

@@ -10,16 +10,17 @@ use rayon::prelude::*;
 
 use crate::engine::Engine;
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::gpu::GpuProfile;
 use crate::llm::LlmSpec;
-use crate::load::{run_load_test, LoadMetrics, LoadTestConfig};
+use crate::load::{run_load_test_faulty, LoadMetrics, LoadTestConfig};
 use crate::memory::{MemoryConfig, MemoryModel};
 use crate::perf_model::{PerfModel, PerfModelConfig};
 use crate::request::RequestSource;
 use crate::tuner::tune_max_batch_weight;
 
 /// Aggregated result of load testing a multi-pod deployment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterMetrics {
     /// Number of pods in the deployment.
     pub pods: u32,
@@ -32,6 +33,9 @@ pub struct ClusterMetrics {
     pub throughput_per_pod: f64,
     /// Total deployment throughput, tokens/s.
     pub total_throughput: f64,
+    /// Number of pods that failed at test start (injected faults); their
+    /// traffic was re-balanced onto the survivors. Always 0 without faults.
+    pub failed_pods: u32,
 }
 
 /// Split `total_users` across `pods` as evenly as possible (round-robin
@@ -142,19 +146,53 @@ impl Deployment {
         S: RequestSource + Send,
         F: Fn(usize) -> S + Sync,
     {
-        let split = split_users(total_users, self.pods);
+        self.run_load_test_faulty(total_users, duration_s, make_source, &FaultPlan::none(), "")
+    }
+
+    /// Fault-aware variant of [`Self::run_load_test`]: under a [`FaultPlan`],
+    /// individual pods may be down for the whole test (decided up front,
+    /// deterministically per `site`/pod index) with their traffic re-balanced
+    /// onto the survivors, surviving pods may crash or OOM mid-test, and
+    /// step times pick up latency noise. With [`FaultPlan::none`] this is
+    /// bit-identical to the plain load test.
+    pub fn run_load_test_faulty<S, F>(
+        &self,
+        total_users: u32,
+        duration_s: f64,
+        make_source: F,
+        plan: &FaultPlan,
+        site: &str,
+    ) -> Result<ClusterMetrics, SimError>
+    where
+        S: RequestSource + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let survivors: Vec<usize> = (0..self.pods as usize)
+            .filter(|i| !plan.pod_fails(&format!("{site}/pod{i}")))
+            .collect();
+        if survivors.is_empty() {
+            return Err(SimError::AllPodsFailed { pods: self.pods });
+        }
+        let failed_pods = self.pods - survivors.len() as u32;
+        // Traffic that would have reached the failed pods re-balances onto
+        // the survivors.
+        let split = split_users(total_users, survivors.len() as u32);
         let mem = self.memory_model();
-        let results: Result<Vec<Option<LoadMetrics>>, SimError> = split
+        let results: Result<Vec<Option<LoadMetrics>>, SimError> = survivors
             .par_iter()
-            .enumerate()
-            .map(|(i, &users)| {
+            .zip(&split)
+            .map(|(&i, &users)| {
                 if users == 0 {
                     return Ok(None);
                 }
-                let mut engine = self.make_engine();
+                let pod_site = format!("{site}/pod{i}");
+                let mut engine =
+                    self.make_engine().with_latency_noise(plan.latency_noise(&pod_site));
                 let mut source = make_source(i);
                 let config = LoadTestConfig { duration_s, warmup_s: 0.0, concurrent_users: users };
-                run_load_test(&mut engine, &mem, &mut source, &config).map(Some)
+                let mut faults = plan.load_faults(&pod_site, duration_s);
+                run_load_test_faulty(&mut engine, &mem, &mut source, &config, &mut faults)
+                    .map(Some)
             })
             .collect();
         let per_pod: Vec<LoadMetrics> = results?.into_iter().flatten().collect();
@@ -167,6 +205,7 @@ impl Deployment {
             throughput_per_pod: total_throughput / f64::from(self.pods),
             total_throughput,
             per_pod,
+            failed_pods,
         })
     }
 }
@@ -236,6 +275,61 @@ mod tests {
         let d1 = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 1).unwrap();
         let d3 = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 3).unwrap();
         assert!((d3.cost_per_hour() - 3.0 * d1.cost_per_hour()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn none_plan_cluster_is_bit_identical() {
+        let d = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 3).unwrap();
+        let plain = d.run_load_test(12, 60.0, source).unwrap();
+        let faulty = d
+            .run_load_test_faulty(12, 60.0, source, &FaultPlan::none(), "cluster/x")
+            .unwrap();
+        assert_eq!(faulty.failed_pods, 0);
+        assert_eq!(plain.per_pod.len(), faulty.per_pod.len());
+        assert_eq!(plain.total_throughput, faulty.total_throughput);
+        for (a, b) in plain.per_pod.iter().zip(&faulty.per_pod) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn all_pods_failed_is_reported() {
+        let d = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 2).unwrap();
+        let plan = FaultPlan::new(crate::fault::FaultConfig {
+            pod_failure_prob: 1.0,
+            ..crate::fault::FaultConfig::disabled()
+        });
+        assert_eq!(
+            d.run_load_test_faulty(8, 30.0, source, &plan, "cluster/x"),
+            Err(SimError::AllPodsFailed { pods: 2 })
+        );
+    }
+
+    #[test]
+    fn failed_pods_rebalance_traffic_to_survivors() {
+        let d = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 4).unwrap();
+        // Scan seeds for a plan where some (but not all) of the 4 pods fail;
+        // the decision function is cheap and deterministic.
+        let plan = (0..64)
+            .map(|seed| {
+                FaultPlan::new(crate::fault::FaultConfig {
+                    seed,
+                    pod_failure_prob: 0.5,
+                    ..crate::fault::FaultConfig::disabled()
+                })
+            })
+            .find(|p| {
+                let down =
+                    (0..4).filter(|i| p.pod_fails(&format!("cluster/x/pod{i}"))).count();
+                (1..=3).contains(&down)
+            })
+            .expect("some seed must down 1..=3 of 4 pods");
+        let m = d.run_load_test_faulty(16, 60.0, source, &plan, "cluster/x").unwrap();
+        assert!(m.failed_pods >= 1 && m.failed_pods <= 3);
+        // All 16 users were re-balanced onto the survivors.
+        assert_eq!(m.per_pod.len(), 4 - m.failed_pods as usize);
+        let served: u32 = m.per_pod.iter().map(|p| p.concurrent_users).sum();
+        assert_eq!(served, 16);
     }
 
     #[test]

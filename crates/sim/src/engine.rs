@@ -145,6 +145,14 @@ impl Engine {
         self
     }
 
+    /// Attach a latency-noise source to the engine's performance model
+    /// (builder style); see [`crate::fault::FaultPlan::latency_noise`]. The
+    /// inert source leaves every step time untouched.
+    pub fn with_latency_noise(mut self, noise: crate::fault::LatencyNoise) -> Self {
+        self.perf.set_noise(noise);
+        self
+    }
+
     /// The active admission policy.
     pub fn policy(&self) -> AdmissionPolicy {
         self.policy

@@ -35,6 +35,49 @@ pub enum SimError {
         /// GPU profile name.
         profile: String,
     },
+    /// Batch-weight tuning ramped past the search cap without ever finding
+    /// an invalid weight, so the returned weight could not be validated as
+    /// maximal (typically a misconfigured memory model).
+    TuningDiverged {
+        /// LLM name.
+        llm: String,
+        /// GPU profile name.
+        profile: String,
+        /// The last weight validated before the search cap.
+        weight: u64,
+    },
+    /// A deployment attempt failed transiently (injected fault).
+    DeployFailed {
+        /// LLM name.
+        llm: String,
+        /// GPU profile name.
+        profile: String,
+    },
+    /// The engine crashed at a virtual-time point mid-load-test (injected
+    /// fault).
+    EngineCrashed {
+        /// Virtual time of the crash, seconds.
+        at_s: f64,
+    },
+    /// A step ran out of GPU memory near the batch-weight boundary
+    /// (injected fault).
+    OutOfMemory {
+        /// Running batch weight at the OOM, tokens.
+        running_weight: u64,
+        /// The engine's maximum batch weight, tokens.
+        max_batch_weight: u64,
+    },
+    /// A per-cell step or virtual-time budget was exhausted before the
+    /// experiment finished.
+    BudgetExhausted {
+        /// Which budget, and its limit.
+        what: String,
+    },
+    /// Every pod of a deployment failed; no survivors to re-balance to.
+    AllPodsFailed {
+        /// Number of pods in the deployment.
+        pods: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -50,6 +93,25 @@ impl fmt::Display for SimError {
             }
             SimError::TuningFailed { llm, profile } => {
                 write!(f, "no valid maximum batch weight for {llm} on {profile}")
+            }
+            SimError::TuningDiverged { llm, profile, weight } => write!(
+                f,
+                "batch-weight tuning for {llm} on {profile} diverged past the search cap \
+                 (last validated weight {weight})"
+            ),
+            SimError::DeployFailed { llm, profile } => {
+                write!(f, "transient deployment failure of {llm} on {profile}")
+            }
+            SimError::EngineCrashed { at_s } => {
+                write!(f, "engine crashed at virtual time {at_s:.3}s")
+            }
+            SimError::OutOfMemory { running_weight, max_batch_weight } => write!(
+                f,
+                "out of memory at batch weight {running_weight} of {max_batch_weight} tokens"
+            ),
+            SimError::BudgetExhausted { what } => write!(f, "budget exhausted: {what}"),
+            SimError::AllPodsFailed { pods } => {
+                write!(f, "all {pods} pods of the deployment failed")
             }
         }
     }

@@ -28,6 +28,7 @@
 pub mod cluster;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod gpu;
 pub mod llm;
 pub mod load;
@@ -41,11 +42,12 @@ pub mod prelude {
     pub use crate::cluster::{ClusterMetrics, Deployment};
     pub use crate::engine::{AdmissionPolicy, Engine, RequestId, StepResult};
     pub use crate::error::SimError;
+    pub use crate::fault::{FaultConfig, FaultPlan, LatencyNoise, LoadFaults};
     pub use crate::gpu::{self, GpuProfile, GpuSpec};
     pub use crate::llm::{self, LlmSpec};
-    pub use crate::load::{run_load_test, LoadMetrics, LoadTestConfig};
+    pub use crate::load::{run_load_test, run_load_test_faulty, LoadMetrics, LoadTestConfig};
     pub use crate::memory::{Feasibility, MemoryConfig, MemoryModel};
     pub use crate::perf_model::{PerfModel, PerfModelConfig};
     pub use crate::request::{FixedSource, RequestSource, RequestSpec};
-    pub use crate::tuner::{tune_max_batch_weight, TuningOutcome};
+    pub use crate::tuner::{tune_max_batch_weight, tune_max_batch_weight_faulty, TuningOutcome};
 }

@@ -109,8 +109,7 @@ impl LlmSpec {
     /// store a single KV head).
     pub fn kv_bytes_per_token(&self) -> f64 {
         let kv_dim = (self.num_kv_heads * self.head_dim()) as f64;
-        let self_attn = 2.0 * self.decoder_layers() as f64 * kv_dim * self.dtype.bytes();
-        self_attn
+        2.0 * self.decoder_layers() as f64 * kv_dim * self.dtype.bytes()
     }
 
     /// Cross-attention KV bytes stored per *input* token (enc-dec only): the

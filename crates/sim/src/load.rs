@@ -12,6 +12,7 @@ use std::collections::HashMap;
 
 use crate::engine::{Engine, RequestId};
 use crate::error::SimError;
+use crate::fault::LoadFaults;
 use crate::memory::MemoryModel;
 use crate::request::{RequestSource, RequestSpec};
 
@@ -76,7 +77,7 @@ pub fn percentile(values: &mut [f64], q: f64) -> f64 {
     if values.is_empty() {
         return f64::NAN;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric samples"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let idx = ((values.len() - 1) as f64 * q).round() as usize;
     values[idx]
 }
@@ -86,7 +87,7 @@ pub fn median(values: &mut [f64]) -> f64 {
     if values.is_empty() {
         return f64::NAN;
     }
-    values.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs in metric samples"));
+    values.sort_by(|a, b| a.total_cmp(b));
     let n = values.len();
     if n % 2 == 1 {
         values[n / 2]
@@ -124,6 +125,21 @@ pub fn run_load_test<S: RequestSource + ?Sized>(
     source: &mut S,
     config: &LoadTestConfig,
 ) -> Result<LoadMetrics, SimError> {
+    run_load_test_faulty(engine, mem, source, config, &mut LoadFaults::none())
+}
+
+/// [`run_load_test`] with fault injection: after every engine iteration the
+/// [`LoadFaults`] state is consulted for a scheduled crash, a near-capacity
+/// OOM, or an exceeded step budget, any of which aborts the experiment with
+/// the corresponding [`SimError`]. With [`LoadFaults::none`] the behaviour
+/// (and the produced metrics) are bit-identical to [`run_load_test`].
+pub fn run_load_test_faulty<S: RequestSource + ?Sized>(
+    engine: &mut Engine,
+    mem: &MemoryModel,
+    source: &mut S,
+    config: &LoadTestConfig,
+    faults: &mut LoadFaults,
+) -> Result<LoadMetrics, SimError> {
     let users = config.concurrent_users;
     assert!(users >= 1, "load test needs at least one user");
 
@@ -154,6 +170,7 @@ pub fn run_load_test<S: RequestSource + ?Sized>(
     let warmup = config.warmup_s;
     while engine.clock() < config.duration_s && engine.has_work() {
         let step = engine.step();
+        faults.check_step(engine.clock(), engine.running_weight(), engine.max_batch_weight())?;
         for em in &step.emissions {
             if em.time >= warmup {
                 total_tokens += u64::from(em.count);
@@ -399,6 +416,79 @@ mod tests {
     #[test]
     fn default_sweep_is_exponential_to_128() {
         assert_eq!(default_user_sweep(), vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    }
+
+    #[test]
+    fn none_faults_reproduce_plain_run_bit_for_bit() {
+        let config = LoadTestConfig { warmup_s: 0.0, duration_s: 60.0, concurrent_users: 4 };
+        let (mut e1, mem) = setup(llama2_13b(), a100_80(), 1);
+        let mut s1 = FixedSource::constant(RequestSpec::new(500, 200));
+        let plain = run_load_test(&mut e1, &mem, &mut s1, &config).unwrap();
+        let (mut e2, _) = setup(llama2_13b(), a100_80(), 1);
+        let mut s2 = FixedSource::constant(RequestSpec::new(500, 200));
+        let mut faults = crate::fault::LoadFaults::none();
+        let faulty = run_load_test_faulty(&mut e2, &mem, &mut s2, &config, &mut faults).unwrap();
+        assert_eq!(plain, faulty);
+        assert!(faults.steps_used > 0);
+    }
+
+    #[test]
+    fn scheduled_crash_aborts_the_test() {
+        let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
+        let mut src = FixedSource::constant(RequestSpec::new(500, 200));
+        let mut faults = crate::fault::LoadFaults::none();
+        faults.crash_at = Some(10.0);
+        let err = run_load_test_faulty(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 60.0, concurrent_users: 4 },
+            &mut faults,
+        )
+        .unwrap_err();
+        assert_eq!(err, SimError::EngineCrashed { at_s: 10.0 });
+    }
+
+    #[test]
+    fn step_budget_aborts_instead_of_hanging() {
+        let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
+        let mut src = FixedSource::constant(RequestSpec::new(500, 200));
+        let mut faults = crate::fault::LoadFaults::none();
+        faults.max_steps = Some(5);
+        let err = run_load_test_faulty(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 600.0, concurrent_users: 8 },
+            &mut faults,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::BudgetExhausted { .. }));
+        assert_eq!(faults.steps_used, 6);
+    }
+
+    #[test]
+    fn near_capacity_oom_aborts_saturated_tests() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        // 64 users saturate the batch, keeping the running weight near the
+        // maximum batch weight — a certain-OOM plan must fire.
+        let plan = FaultPlan::new(FaultConfig {
+            oom_prob: 1.0,
+            oom_margin: 0.8,
+            ..FaultConfig::disabled()
+        });
+        let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
+        let mut src = FixedSource::constant(RequestSpec::new(500, 200));
+        let mut faults = plan.load_faults("load/x", 60.0);
+        let err = run_load_test_faulty(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 60.0, concurrent_users: 64 },
+            &mut faults,
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::OutOfMemory { .. }));
     }
 }
 

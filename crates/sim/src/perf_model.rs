@@ -11,6 +11,7 @@
 //! de-tokenization, response streaming — substantial in Python serving
 //! stacks such as TGIS).
 
+use crate::fault::LatencyNoise;
 use crate::gpu::GpuProfile;
 use crate::llm::{DType, LlmArch, LlmSpec};
 
@@ -56,12 +57,27 @@ pub struct PerfModel {
     llm: LlmSpec,
     profile: GpuProfile,
     config: PerfModelConfig,
+    /// Multiplicative noise on step times (inert by default — every query
+    /// is scaled by exactly 1.0, preserving bit-identical behaviour).
+    noise: LatencyNoise,
 }
 
 impl PerfModel {
     /// Build a performance model.
     pub fn new(llm: LlmSpec, profile: GpuProfile, config: PerfModelConfig) -> Self {
-        Self { llm, profile, config }
+        Self { llm, profile, config, noise: LatencyNoise::none() }
+    }
+
+    /// Attach a latency-noise source (builder style); see
+    /// [`crate::fault::FaultPlan::latency_noise`].
+    pub fn with_noise(mut self, noise: LatencyNoise) -> Self {
+        self.noise = noise;
+        self
+    }
+
+    /// Replace the latency-noise source in place.
+    pub fn set_noise(&mut self, noise: LatencyNoise) {
+        self.noise = noise;
     }
 
     /// The modeled LLM.
@@ -140,7 +156,7 @@ impl PerfModel {
             // the fresh cross-attention cache.
             LlmArch::EncoderDecoder => self.decode_marginal_time(1, u64::from(prompt_tokens)),
         };
-        compute + comm + first_token
+        (compute + comm + first_token) * self.noise.factor()
     }
 
     /// Marginal decode cost without fixed/per-sequence overheads; used
@@ -162,9 +178,10 @@ impl PerfModel {
         if batch_seqs == 0 {
             return self.config.fixed_step_overhead_s;
         }
-        self.decode_marginal_time(batch_seqs, kv_tokens)
+        (self.decode_marginal_time(batch_seqs, kv_tokens)
             + self.config.fixed_step_overhead_s
-            + self.config.per_seq_step_overhead_s * batch_seqs as f64
+            + self.config.per_seq_step_overhead_s * batch_seqs as f64)
+            * self.noise.factor()
     }
 
     /// Time to pull the weights into GPU memory over the host link when the

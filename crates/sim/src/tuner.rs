@@ -11,6 +11,7 @@
 //! candidate weight is valid only if none of the corner batches OOMs.
 
 use crate::error::SimError;
+use crate::fault::FaultPlan;
 use crate::memory::MemoryModel;
 
 /// Result of a batch-weight tuning run.
@@ -23,6 +24,13 @@ pub struct TuningOutcome {
     /// Number of corner-case probe batches evaluated.
     pub probes_evaluated: u64,
 }
+
+/// Probe batches never replicate a request more than this many times. At
+/// ~4.2M requests the batch spans > 8M tokens of KV, far beyond what any
+/// catalog GPU profile can hold, so the cap never changes a real tuning
+/// result — it only bounds probe cost while the exponential ramp hunts the
+/// divergence guard on a pathological (e.g. unbounded-memory) model.
+const MAX_PROBE_BATCH: u64 = 1 << 22;
 
 /// Build the corner-case probe batches for a candidate weight `w`:
 ///
@@ -46,16 +54,16 @@ pub fn corner_case_batches(mem: &MemoryModel, w: u64) -> Vec<Vec<(u32, u32)>> {
 
     // 2. Prefill-heavy: requests of (cap_in, 1).
     let per = u64::from(cap_in) + 1;
-    let k = (w / per).max(1) as usize;
+    let k = (w / per).clamp(1, MAX_PROBE_BATCH) as usize;
     batches.push(vec![(cap_in.min(w_minus_one).max(1), 1); k]);
 
     // 3. KV-heavy: requests of (1, cap_out).
     let per = 1 + u64::from(cap_out);
-    let k = (w / per).max(1) as usize;
+    let k = (w / per).clamp(1, MAX_PROBE_BATCH) as usize;
     batches.push(vec![(1, cap_out.min(w_minus_one).max(1)); k]);
 
     // 4. Batch-size corner: (1, 1) requests.
-    let k = (w / 2).max(1) as usize;
+    let k = (w / 2).clamp(1, MAX_PROBE_BATCH) as usize;
     batches.push(vec![(1, 1); k]);
 
     batches
@@ -108,12 +116,19 @@ pub fn tune_max_batch_weight(mem: &MemoryModel) -> Result<TuningOutcome, SimErro
             hi = candidate;
             break;
         }
-        // Memory is finite; the KV cache alone bounds the weight.
+        // Memory is finite; the KV cache alone bounds the weight. If the
+        // ramp sails past this cap without ever hitting an invalid weight,
+        // the boundary cannot be bracketed and `lo` was never validated as
+        // *maximal* — report divergence instead of returning it.
         if candidate > 1 << 40 {
-            break;
+            return Err(SimError::TuningDiverged {
+                llm: mem.llm().name.to_string(),
+                profile: mem.profile().name(),
+                weight: lo,
+            });
         }
     }
-    // Invariant: lo valid, hi invalid (or the ramp cap was hit).
+    // Invariant: lo valid, hi invalid.
     while hi - lo > 1 {
         let mid = lo + (hi - lo) / 2;
         steps += 1;
@@ -125,6 +140,25 @@ pub fn tune_max_batch_weight(mem: &MemoryModel) -> Result<TuningOutcome, SimErro
     }
 
     Ok(TuningOutcome { max_batch_weight: lo, search_steps: steps, probes_evaluated: probes })
+}
+
+/// Fault-aware tuning: under a [`FaultPlan`], the run may abort with an OOM
+/// at the weight boundary (the real-world failure the corner-case probes
+/// guard against). With [`FaultPlan::none`] this is exactly
+/// [`tune_max_batch_weight`].
+pub fn tune_max_batch_weight_faulty(
+    mem: &MemoryModel,
+    plan: &FaultPlan,
+    site: &str,
+) -> Result<TuningOutcome, SimError> {
+    if plan.tuning_ooms(site) {
+        let bound = mem.max_batch_weight_bound();
+        return Err(SimError::OutOfMemory {
+            running_weight: bound,
+            max_batch_weight: bound,
+        });
+    }
+    tune_max_batch_weight(mem)
 }
 
 #[cfg(test)]
@@ -203,6 +237,42 @@ mod tests {
             out.max_batch_weight > 5_000 && out.max_batch_weight < 60_000,
             "weight = {}",
             out.max_batch_weight
+        );
+    }
+
+    #[test]
+    fn absurd_memory_reports_divergence() {
+        // A (hypothetical) GPU with effectively unbounded memory never
+        // produces an invalid candidate, so the ramp cannot bracket the
+        // boundary; tuning must report divergence instead of returning a
+        // weight never validated as maximal.
+        let mut gpu = a100_80();
+        gpu.memory_gib = 1.0e12;
+        let m = mem(llama2_13b(), gpu, 1);
+        match tune_max_batch_weight(&m) {
+            Err(SimError::TuningDiverged { weight, .. }) => {
+                assert!(weight > 1 << 30, "diverged weight should be huge, got {weight}")
+            }
+            other => panic!("expected TuningDiverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_tuning_oom_is_transient() {
+        use crate::fault::{FaultConfig, FaultPlan};
+        let m = mem(llama2_13b(), a100_80(), 1);
+        let plan = FaultPlan::new(FaultConfig {
+            tuning_oom_prob: 1.0,
+            ..FaultConfig::disabled()
+        });
+        assert!(matches!(
+            tune_max_batch_weight_faulty(&m, &plan, "tune/x"),
+            Err(SimError::OutOfMemory { .. })
+        ));
+        // The no-fault plan reproduces the plain tuner exactly.
+        assert_eq!(
+            tune_max_batch_weight_faulty(&m, &FaultPlan::none(), "tune/x").unwrap(),
+            tune_max_batch_weight(&m).unwrap()
         );
     }
 

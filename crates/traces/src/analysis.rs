@@ -243,10 +243,10 @@ mod tests {
         .generate();
         let params = Param::core();
         let m = correlation_matrix(&ds, &params);
-        for i in 0..params.len() {
-            assert_eq!(m[i][i], 1.0);
-            for j in 0..params.len() {
-                assert_eq!(m[i][j], m[j][i]);
+        for (i, row) in m.iter().enumerate() {
+            assert_eq!(row[i], 1.0);
+            for (j, v) in row.iter().enumerate() {
+                assert_eq!(*v, m[j][i]);
             }
         }
     }

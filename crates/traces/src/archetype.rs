@@ -13,7 +13,7 @@
 //! be large on the others, producing the positive rank correlations the
 //! paper observes; mixing archetypes adds between-task correlation on top.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use crate::dist::{clamp_round, log_normal, normal, standard_normal, Categorical};
 use crate::record::{DecodingMethod, NUM_AUX_PARAMS};

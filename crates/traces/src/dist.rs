@@ -4,7 +4,7 @@
 //! Only `rand`'s core RNG is used; the distributions themselves (normal via
 //! Box–Muller, log-normal, categorical, Zipf) are implemented here.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 /// Standard normal sample via the Box–Muller transform.
 pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {

@@ -8,7 +8,7 @@
 //! end-to-end latency (see [`crate::latency_model`]).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use crate::archetype::{default_archetypes, Archetype};
 use crate::dist::{Categorical, Zipf};

@@ -46,7 +46,7 @@ impl BinSpec {
             for k in 1..max_bins {
                 let idx = (k * n) / max_bins;
                 let cut = sorted[idx.min(n - 1)];
-                if cuts.last().map_or(true, |&last| cut > last) {
+                if cuts.last().is_none_or(|&last| cut > last) {
                     cuts.push(cut);
                 }
             }

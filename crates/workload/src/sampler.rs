@@ -13,7 +13,7 @@
 //! * [`TraceResampler`] — the baseline the paper compares against: draws
 //!   whole historical requests uniformly from the trace collection.
 
-use rand::{Rng, RngExt};
+use rand::Rng;
 
 use llmpilot_traces::{Param, TraceDataset};
 

@@ -104,12 +104,12 @@ impl WorkloadModel {
                 .strip_prefix("e ")
                 .ok_or_else(|| parse("malformed entry line"))?
                 .split_ascii_whitespace();
-            for j in 0..d {
+            for dim_bins in bins.iter().take(d) {
                 let bin: u16 = fields
                     .next()
                     .and_then(|s| s.parse().ok())
                     .ok_or_else(|| parse("bad bin index"))?;
-                if usize::from(bin) >= bins[j].num_bins() {
+                if usize::from(bin) >= dim_bins.num_bins() {
                     return Err(parse("bin index out of range"));
                 }
                 keys.push(bin);

@@ -28,8 +28,8 @@ fn main() {
     let profile_name = "2xA10-24GB";
     let profile = parse_profile(profile_name).expect("known profile");
     let dataset = characterize(
-        &[llm.clone()],
-        &[profile.clone()],
+        std::slice::from_ref(&llm),
+        std::slice::from_ref(&profile),
         &sampler,
         &CharacterizeConfig::default(),
     );

@@ -34,7 +34,12 @@ fn main() {
     );
     println!("measuring {} across all feasible GPU profiles...", llm.name);
     let dataset =
-        characterize(&[llm.clone()], &paper_profiles(), &sampler, &CharacterizeConfig::default());
+        characterize(
+            std::slice::from_ref(&llm),
+            &paper_profiles(),
+            &sampler,
+            &CharacterizeConfig::default(),
+        );
     println!("{} feasible profiles\n", dataset.tuned_weights.len());
 
     println!(
@@ -53,7 +58,7 @@ fn main() {
                 },
                 user_grid: (0..8).map(|i| 1u32 << i).collect(),
             };
-            match oracle_recommendation(&dataset, &llm.name, &paper_profiles(), &request) {
+            match oracle_recommendation(&dataset, llm.name, &paper_profiles(), &request) {
                 Ok(rec) => println!(
                     "{nttft_ms:>10} {itl_ms:>10} {users:>8} | {:<14} {:>6} {:>12.2}",
                     rec.profile, rec.pods, rec.cost_per_hour

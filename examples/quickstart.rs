@@ -43,6 +43,7 @@ fn main() {
     let profile = GpuProfile::new(a100_80(), 1);
     let (tuned_weight, rows) =
         characterize_cell(&llm, &profile, &sampler, &CharacterizeConfig::default())
+            .measured()
             .expect("Llama-2-13b fits on 1xA100-80GB");
 
     println!("\n{} on {} (tuned max batch weight: {tuned_weight} tokens)", llm.name, profile);

@@ -89,13 +89,13 @@ fn main() {
             );
             // Verify against the target's true (simulated) performance.
             let truth = characterize(
-                &[unseen.clone()],
+                std::slice::from_ref(&unseen),
                 &candidates,
                 &sampler,
                 &CharacterizeConfig::default(),
             );
             let true_cap =
-                true_u_max(&truth, &unseen.name, &rec.profile, &request.constraints);
+                true_u_max(&truth, unseen.name, &rec.profile, &request.constraints);
             match true_cap {
                 Some(cap) if u64::from(rec.pods) * u64::from(cap) >= u64::from(users) => {
                     println!(
@@ -110,7 +110,7 @@ fn main() {
                 None => println!("verification failed: constraints unmet even at 1 user"),
             }
             if let Ok(oracle) =
-                oracle_recommendation(&truth, &unseen.name, &candidates, &request)
+                oracle_recommendation(&truth, unseen.name, &candidates, &request)
             {
                 println!(
                     "oracle (perfect knowledge): {} pods of {} at ${:.2}/h",

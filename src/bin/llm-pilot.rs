@@ -18,7 +18,10 @@ use rand::SeedableRng;
 
 use llm_pilot::core::baselines::{LlmPilotMethod, Method, MethodInput};
 use llm_pilot::core::recommend::{LatencyConstraints, RecommendationRequest};
-use llm_pilot::core::{characterize, CharacterizationDataset, CharacterizeConfig};
+use llm_pilot::core::{
+    CharacterizationDataset, CharacterizeConfig, SweepDriver, SweepOptions,
+};
+use llm_pilot::sim::fault::{FaultConfig, FaultPlan};
 use llm_pilot::sim::gpu::paper_profiles;
 use llm_pilot::sim::llm::{llm_by_name, llm_catalog};
 use llm_pilot::sim::memory::{feasibility_matrix, MemoryConfig, MemoryModel};
@@ -31,7 +34,8 @@ fn usage() -> ! {
          llm-pilot workload fit --traces FILE --out FILE\n  \
          llm-pilot workload sample --model FILE [-n N]\n  \
          llm-pilot feasibility\n  \
-         llm-pilot characterize --out FILE [--duration SECS] [--llm NAME]\n  \
+         llm-pilot characterize --out FILE [--duration SECS] [--llm NAME]\n      \
+             [--journal FILE] [--retries N] [--fault-prob P] [--fault-seed S] [--max-steps N]\n  \
          llm-pilot recommend --data FILE --llm NAME [--users N] [--nttft-ms MS] [--itl-ms MS]"
     );
     exit(2)
@@ -182,8 +186,33 @@ fn cmd_characterize(flags: &HashMap<String, String>) {
         None => llm_catalog(),
     };
     let config = CharacterizeConfig { duration_s: duration, ..CharacterizeConfig::default() };
-    let ds = characterize(&llms, &paper_profiles(), &sampler, &config);
-    println!("{} rows over {} feasible cells", ds.len(), ds.tuned_weights.len());
+
+    let fault_prob: f64 = flag(flags, "fault-prob", 0.0);
+    let plan = if fault_prob > 0.0 {
+        FaultPlan::new(FaultConfig::transient(flag(flags, "fault-seed", 1), fault_prob))
+    } else {
+        FaultPlan::none()
+    };
+    let options = SweepOptions {
+        plan,
+        max_attempts: flag(flags, "retries", 3u32).max(1),
+        journal_path: flags.get("journal").map(std::path::PathBuf::from),
+        max_steps_per_cell: flags.get("max-steps").map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("bad value for --max-steps: {s:?}");
+                usage()
+            })
+        }),
+        ..SweepOptions::default()
+    };
+    let profiles = paper_profiles();
+    let driver = SweepDriver::new(&llms, &profiles, &sampler, config, options);
+    let (ds, report) = driver.run().unwrap_or_else(|e| {
+        eprintln!("sweep failed: {e}");
+        exit(1)
+    });
+    print!("{report}");
+    println!("{} rows over {} measured cells", ds.len(), ds.tuned_weights.len());
     std::fs::write(&out, ds.to_csv()).expect("write dataset CSV");
     println!("wrote {out}");
 }

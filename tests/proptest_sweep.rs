@@ -1,0 +1,149 @@
+//! Property-based guarantees of the fault-tolerant sweep driver
+//! (`core::sweep`):
+//!
+//! 1. for any fault seed, a sweep with transient faults and a sufficient
+//!    retry budget yields a dataset **bit-identical** to a fault-free sweep
+//!    (fault decisions are drawn per attempt; measurement seeds are
+//!    attempt-independent);
+//! 2. for any chunking, an interrupted sweep resumed from its journal is
+//!    **bit-identical** to a one-shot sweep (rows round-trip the journal
+//!    through shortest-round-trip float formatting).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use llm_pilot::core::sweep::{SweepDriver, SweepOptions};
+use llm_pilot::core::{CharacterizationDataset, CharacterizeConfig};
+use llm_pilot::sim::fault::{FaultConfig, FaultPlan};
+use llm_pilot::sim::gpu::{a100_40, t4, GpuProfile};
+use llm_pilot::sim::llm::{flan_t5_xl, llama2_7b, LlmSpec};
+use llm_pilot::traces::{Param, TraceGenerator, TraceGeneratorConfig};
+use llm_pilot::workload::{WorkloadModel, WorkloadSampler};
+
+fn sampler() -> &'static WorkloadSampler {
+    static SAMPLER: OnceLock<WorkloadSampler> = OnceLock::new();
+    SAMPLER.get_or_init(|| {
+        let traces = TraceGenerator::new(TraceGeneratorConfig {
+            num_requests: 8_000,
+            seed: 55,
+            ..TraceGeneratorConfig::default()
+        })
+        .generate();
+        let model = WorkloadModel::fit(
+            &traces,
+            &[Param::InputTokens, Param::OutputTokens, Param::BatchSize],
+        )
+        .unwrap();
+        WorkloadSampler::new(model)
+    })
+}
+
+fn quick_config() -> CharacterizeConfig {
+    CharacterizeConfig {
+        duration_s: 8.0,
+        user_sweep: vec![1, 4],
+        ..CharacterizeConfig::default()
+    }
+}
+
+fn grid() -> (Vec<LlmSpec>, Vec<GpuProfile>) {
+    (
+        // llama2-7b on 1xT4 is infeasible, so the grid exercises all
+        // outcome kinds.
+        vec![flan_t5_xl(), llama2_7b()],
+        vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1)],
+    )
+}
+
+/// The fault-free reference dataset (identical across cases; computed once).
+fn clean_dataset() -> &'static CharacterizationDataset {
+    static CLEAN: OnceLock<CharacterizationDataset> = OnceLock::new();
+    CLEAN.get_or_init(|| {
+        let (llms, profiles) = grid();
+        SweepDriver::new(&llms, &profiles, sampler(), quick_config(), SweepOptions::default())
+            .run()
+            .expect("no journal, no I/O")
+            .0
+    })
+}
+
+/// A process-unique scratch path for a journal file.
+fn scratch_journal() -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::SeqCst);
+    std::env::temp_dir().join(format!(
+        "llmpilot-proptest-sweep-{}-{n}.csv",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any fault seed: transient faults + enough retries ⇒ the recovered
+    /// dataset is bit-identical to the fault-free one.
+    #[test]
+    fn faulty_sweep_with_retries_is_bit_identical(seed in 0u64..1_000_000_000) {
+        let (llms, profiles) = grid();
+        let options = SweepOptions {
+            // Per attempt: deploy, tuning and two load tests each fail with
+            // p = 0.25 ⇒ ~0.32 success per attempt; 50 attempts make a
+            // permanently failed cell (~1e-8) essentially impossible.
+            plan: FaultPlan::new(FaultConfig::transient(seed, 0.25)),
+            max_attempts: 50,
+            ..SweepOptions::default()
+        };
+        let (ds, report) =
+            SweepDriver::new(&llms, &profiles, sampler(), quick_config(), options)
+                .run()
+                .expect("no journal, no I/O");
+        prop_assert_eq!(report.failed(), 0, "retries must recover every cell (seed {})", seed);
+        prop_assert_eq!(&ds, clean_dataset());
+    }
+
+    /// Any chunk size and fault seed: a sweep interrupted every `chunk`
+    /// cells and resumed from its journal equals the one-shot sweep —
+    /// dataset bit-for-bit, per-cell statuses included.
+    #[test]
+    fn resumed_sweep_is_bit_identical_to_one_shot(
+        chunk in 1usize..4,
+        seed in 0u64..1_000_000_000,
+    ) {
+        let (llms, profiles) = grid();
+        let base = SweepOptions {
+            // Mild transient faults with a small retry budget, so resumed
+            // journals carry measured, infeasible AND failed cells.
+            plan: FaultPlan::new(FaultConfig::transient(seed, 0.3)),
+            max_attempts: 3,
+            ..SweepOptions::default()
+        };
+
+        let (one_shot_ds, one_shot_report) =
+            SweepDriver::new(&llms, &profiles, sampler(), quick_config(), base.clone())
+                .run()
+                .expect("no journal, no I/O");
+
+        let journal = scratch_journal();
+        let chunked = SweepOptions {
+            journal_path: Some(journal.clone()),
+            max_cells_per_run: Some(chunk),
+            ..base
+        };
+        let driver = SweepDriver::new(&llms, &profiles, sampler(), quick_config(), chunked);
+        let mut rounds = 0;
+        let (ds, report) = loop {
+            let (ds, report) = driver.run().expect("journal I/O");
+            rounds += 1;
+            prop_assert!(rounds <= 8, "chunked sweep failed to converge");
+            if report.is_complete() {
+                break (ds, report);
+            }
+        };
+        let _ = std::fs::remove_file(&journal);
+
+        prop_assert_eq!(&ds, &one_shot_ds);
+        prop_assert_eq!(&report.cells, &one_shot_report.cells);
+    }
+}

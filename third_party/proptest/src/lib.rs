@@ -1,0 +1,449 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest used by this workspace: the
+//! [`proptest!`] macro, [`Strategy`] with `prop_map`, range and tuple
+//! strategies, `prop::collection::vec`, `prop::sample::select`, and the
+//! `prop_assert!` / `prop_assert_eq!` / `prop_assume!` macros.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its inputs
+//! but is not minimized), and cases are drawn from a fixed per-test seed so
+//! runs are deterministic. The default is 64 cases per property; set
+//! `PROPTEST_CASES` to override.
+
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+use rand::{SampleUniform, SeedableRng};
+
+/// Deterministic RNG handed to strategies while generating a case.
+#[derive(Debug, Clone)]
+pub struct TestRng(rand::StdRng);
+
+impl TestRng {
+    /// Seed derived from the test's source location and case index, so every
+    /// property gets its own reproducible stream.
+    pub fn for_case(file: &str, line: u32, case: u64) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in file.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= u64::from(line);
+        h = h.wrapping_mul(0x100_0000_01b3);
+        h ^= case;
+        h = h.wrapping_mul(0x100_0000_01b3);
+        TestRng(rand::StdRng::seed_from_u64(h))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Why a generated case did not produce a pass/fail verdict.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not failed.
+    Reject(String),
+    /// `prop_assert!`-style failure.
+    Fail(String),
+}
+
+/// Number of accepted cases each property must run.
+pub fn cases() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+/// Per-block configuration, settable via
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first item
+/// inside a [`proptest!`] block.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Accepted cases each property must run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: cases() as u32 }
+    }
+}
+
+/// A generator of values for property tests (no shrinking).
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+impl<T: SampleUniform + Copy + PartialOrd + Debug> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy + PartialOrd + Debug> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_range(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident/$v:ident),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($s,)+) = self;
+                $(let $v = $s.generate(rng);)+
+                ($($v,)+)
+            }
+        }
+    };
+}
+impl_strategy_tuple!(A/a);
+impl_strategy_tuple!(A/a, B/b);
+impl_strategy_tuple!(A/a, B/b, C/c);
+impl_strategy_tuple!(A/a, B/b, C/c, D/d);
+impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e);
+impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e, F/f);
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::SampleUniform;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Accepted length specifications for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec length range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len =
+                usize::sample_range(rng, self.size.lo, self.size.hi_inclusive, true);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use std::fmt::Debug;
+
+    /// Strategy that picks one element of `options` uniformly.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "select requires at least one option");
+        Select { options }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct Select<T: Clone + Debug> {
+        options: Vec<T>,
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            use rand::RngCore;
+            let i = (rng.next_u64() % self.options.len() as u64) as usize;
+            self.options[i].clone()
+        }
+    }
+}
+
+/// `0..=u8::MAX`-style full-domain strategies, mirroring `proptest::num`.
+pub mod num {
+    pub mod f64 {
+        use crate::{Strategy, TestRng};
+        use rand::Rng;
+
+        /// Positive, finite `f64`s (magnitudes useful for tests).
+        #[derive(Debug, Clone)]
+        pub struct Positive;
+        pub const POSITIVE: Positive = Positive;
+
+        impl Strategy for Positive {
+            type Value = f64;
+
+            fn generate(&self, rng: &mut TestRng) -> f64 {
+                rng.random_range(f64::MIN_POSITIVE..1e12)
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    pub use crate::{Just, Map, Strategy};
+}
+
+pub mod test_runner {
+    pub use crate::{TestCaseError, TestRng};
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::TestCaseError;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::num;
+        pub use crate::sample;
+    }
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` that generates [`cases()`] accepted inputs and runs
+/// the body, which may use `prop_assert!` / `prop_assume!` / `return Ok(())`.
+/// An optional leading `#![proptest_config(expr)]` overrides the case count
+/// for the whole block.
+#[macro_export]
+macro_rules! proptest {
+    (@internal $config:expr;
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let strategy = ($($strat,)+);
+                let target = u64::from(($config).cases);
+                let mut accepted: u64 = 0;
+                let mut attempts: u64 = 0;
+                let max_attempts = target.saturating_mul(50).max(1000);
+                while accepted < target {
+                    attempts += 1;
+                    assert!(
+                        attempts <= max_attempts,
+                        "proptest `{}`: too many rejected cases ({} accepted of {} wanted)",
+                        stringify!($name), accepted, target,
+                    );
+                    let mut rng =
+                        $crate::TestRng::for_case(file!(), line!(), attempts);
+                    let value = $crate::Strategy::generate(&strategy, &mut rng);
+                    let value_desc = format!("{:?}", value);
+                    let ($($pat,)+) = value;
+                    #[allow(unreachable_code)]
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| -> ::std::result::Result<(), $crate::TestCaseError> {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    match outcome {
+                        ::std::result::Result::Ok(()) => accepted += 1,
+                        ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest `{}` failed at case {}: {}\n  inputs: {}",
+                                stringify!($name), accepted, msg, value_desc,
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest!(@internal $config;
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*);
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $crate::proptest!(@internal $crate::ProptestConfig::default();
+            $($(#[$meta])* fn $name($($pat in $strat),+) $body)*);
+    };
+}
+
+/// Assert within a property body; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Equality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), left, right,
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(*left == *right, $($fmt)+);
+    }};
+}
+
+/// Inequality assert within a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), left,
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                String::from(stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_vecs(
+            xs in prop::collection::vec((1u32..100, 0.0f64..1.0), 1..10),
+            pick in prop::sample::select(vec![2usize, 4, 8]),
+            scaled in (1u64..50).prop_map(|v| v * 10),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 10);
+            for (a, b) in &xs {
+                prop_assert!((1..100).contains(a));
+                prop_assert!((0.0..1.0).contains(b));
+            }
+            prop_assert!(pick == 2 || pick == 4 || pick == 8);
+            prop_assert_eq!(scaled % 10, 0);
+            prop_assume!(scaled > 10);
+            prop_assert!(scaled >= 20);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_arm_limits_cases(x in 0u32..10) {
+            use ::std::sync::atomic::{AtomicU64, Ordering};
+            static RUNS: AtomicU64 = AtomicU64::new(0);
+            let runs = RUNS.fetch_add(1, Ordering::SeqCst) + 1;
+            prop_assert!(x < 10);
+            prop_assert!(runs <= 5, "config should cap the block at 5 cases, ran {runs}");
+        }
+    }
+
+    #[test]
+    fn rejection_does_not_fail() {
+        // Exercised via prop_assume above; also check the error type shape.
+        let e = TestCaseError::Reject("x".into());
+        assert_ne!(e, TestCaseError::Fail("x".into()));
+    }
+}

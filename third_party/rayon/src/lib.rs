@@ -1,0 +1,97 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The build environment has no network access, so this shim provides the
+//! `par_iter()` / `into_par_iter()` entry points the workspace uses and maps
+//! them to *sequential*, order-preserving `std` iterators. Every rayon call
+//! site in the workspace is a pure fan-out followed by an ordered `collect`
+//! (or reduction over commutative ops), so sequential execution is
+//! semantically identical — including element order — just single-threaded.
+
+pub mod iter {
+    /// `into_par_iter()` for owned collections — sequential fallback.
+    pub trait IntoParallelIterator {
+        type Item;
+        type Iter: Iterator<Item = Self::Item>;
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Item = I::Item;
+        type Iter = I::IntoIter;
+
+        #[inline]
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter()` for borrowed collections — sequential fallback.
+    pub trait IntoParallelRefIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Item = <&'data C as IntoIterator>::Item;
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        #[inline]
+        fn par_iter(&'data self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// `par_iter_mut()` for mutably borrowed collections — sequential fallback.
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Item: 'data;
+        type Iter: Iterator<Item = Self::Item>;
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Item = <&'data mut C as IntoIterator>::Item;
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        #[inline]
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+    };
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+#[inline]
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn par_iter_preserves_order() {
+        let v = vec![3, 1, 4, 1, 5];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![6, 2, 8, 2, 10]);
+        let owned: Vec<i32> = v.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, vec![4, 2, 5, 2, 6]);
+    }
+}
