@@ -12,11 +12,8 @@ use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
 use llmpilot_sim::request::RequestSpec;
 
 fn engine_with_batch(batch: u32) -> Engine {
-    let perf = PerfModel::new(
-        llama2_13b(),
-        GpuProfile::new(a100_80(), 1),
-        PerfModelConfig::default(),
-    );
+    let perf =
+        PerfModel::new(llama2_13b(), GpuProfile::new(a100_80(), 1), PerfModelConfig::default());
     let mut engine = Engine::new(perf, 1_000_000);
     for _ in 0..batch {
         engine.submit(RequestSpec::new(300, 1_000)).expect("fits");

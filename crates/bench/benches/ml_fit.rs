@@ -7,19 +7,14 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
 
-use llmpilot_ml::{
-    Dataset, ForestParams, Gbdt, GbdtParams, Mlp, MlpParams, RandomForest,
-};
+use llmpilot_ml::{Dataset, ForestParams, Gbdt, GbdtParams, Mlp, MlpParams, RandomForest};
 
 fn synthetic(rows: usize, cols: usize) -> Dataset {
     let mut rng = StdRng::seed_from_u64(9);
-    let data: Vec<Vec<f64>> = (0..rows)
-        .map(|_| (0..cols).map(|_| rng.random::<f64>() * 10.0).collect())
-        .collect();
-    let targets: Vec<f64> = data
-        .iter()
-        .map(|r| (r[0] * 0.5).exp().min(100.0) + r[1] + 0.3 * r[2] * r[3])
-        .collect();
+    let data: Vec<Vec<f64>> =
+        (0..rows).map(|_| (0..cols).map(|_| rng.random::<f64>() * 10.0).collect()).collect();
+    let targets: Vec<f64> =
+        data.iter().map(|r| (r[0] * 0.5).exp().min(100.0) + r[1] + 0.3 * r[2] * r[3]).collect();
     Dataset::from_rows(&data, targets).expect("valid")
 }
 

@@ -18,10 +18,8 @@ fn bench_recommend(c: &mut Criterion) {
     let sampler = build_sampler(&traces);
     // Train on all LLMs except starcoder, on a reduced grid for bench setup
     // speed.
-    let llms: Vec<_> = llm_catalog()
-        .into_iter()
-        .filter(|m| m.name != "bigcode/starcoder")
-        .collect();
+    let llms: Vec<_> =
+        llm_catalog().into_iter().filter(|m| m.name != "bigcode/starcoder").collect();
     let ds = characterize(
         &llms,
         &paper_profiles(),
@@ -38,9 +36,7 @@ fn bench_recommend(c: &mut Criterion) {
 
     c.bench_function("recommend_unseen_llm_14_profiles", |b| {
         b.iter(|| {
-            black_box(recommend(&profiles, &request, |p, u| {
-                Some(model.predict(&unseen, p, u))
-            }))
+            black_box(recommend(&profiles, &request, |p, u| Some(model.predict(&unseen, p, u))))
         })
     });
 }

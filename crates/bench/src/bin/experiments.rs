@@ -32,6 +32,7 @@ fn dispatch(id: &str, tune: bool) {
         "ablate_bins" => exp::ablate::run_bins(),
         "ablate_paged" => exp::paged::run(),
         "resilience" => exp::resilience::run(),
+        "serve_load" => exp::serve_load::run(),
         "table4" => exp::table4::run(),
         other => {
             eprintln!("unknown experiment: {other}");

@@ -72,8 +72,7 @@ pub fn run_bins() {
         "bins", "KS(input)", "KS(output)", "model [KB]", "nonempty bins"
     );
     for bins in [8usize, 16, 32, 64, 128] {
-        let model =
-            WorkloadModel::fit_with_bins(&traces, &workload_params(), bins).expect("fit");
+        let model = WorkloadModel::fit_with_bins(&traces, &workload_params(), bins).expect("fit");
         let sampler = WorkloadSampler::new(model.clone());
         let mut rng = StdRng::seed_from_u64(0xB195);
         let n = 30_000;

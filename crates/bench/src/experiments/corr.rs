@@ -70,17 +70,9 @@ pub fn ablation() -> CorrAblation {
 }
 
 fn deltas(joint: &[f64], indep: &[f64]) -> (f64, f64) {
-    let rel: Vec<f64> = joint
-        .iter()
-        .zip(indep)
-        .map(|(j, i)| (i - j) / j * 100.0)
-        .collect();
+    let rel: Vec<f64> = joint.iter().zip(indep).map(|(j, i)| (i - j) / j * 100.0).collect();
     let mean = rel.iter().sum::<f64>() / rel.len() as f64;
-    let extreme = rel
-        .iter()
-        .copied()
-        .max_by(|a, b| a.abs().total_cmp(&b.abs()))
-        .unwrap_or(0.0);
+    let extreme = rel.iter().copied().max_by(|a, b| a.abs().total_cmp(&b.abs())).unwrap_or(0.0);
     (mean, extreme)
 }
 

@@ -60,18 +60,12 @@ pub fn sweep() -> Vec<(u64, f64, f64)> {
 pub fn run() {
     header("Fig. 1 - median e2e latency vs maximum batch weight");
     println!("LLM: bigcode/starcoder, GPU: 1xA100-80GB, 128 concurrent users");
-    println!(
-        "{:>18} {:>22} {:>14}",
-        "max batch weight", "median e2e latency [s]", "tput [tok/s]"
-    );
+    println!("{:>18} {:>22} {:>14}", "max batch weight", "median e2e latency [s]", "tput [tok/s]");
     let points = sweep();
     for (w, e2e, tput) in &points {
         println!("{w:>18} {:>22} {:>14}", fmt(*e2e), fmt(*tput));
     }
     let worst = points.first().expect("nonempty").1;
     let best = points.last().expect("nonempty").1;
-    println!(
-        "largest/smallest weight latency ratio: {:.2}x better (paper: ~2.8x)",
-        worst / best
-    );
+    println!("largest/smallest weight latency ratio: {:.2}x better (paper: ~2.8x)", worst / best);
 }

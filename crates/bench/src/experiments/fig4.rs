@@ -83,10 +83,7 @@ pub fn importance() -> (Vec<f64>, Vec<f64>) {
         // limit of the paper's near-zero importances.
         let mut params = ForestParams { n_trees: 40, bootstrap: false, ..ForestParams::default() };
         params.tree.max_features = Some(usize::MAX);
-        RandomForest::fit(&ds, &params)
-            .expect("forest fits")
-            .feature_importance()
-            .to_vec()
+        RandomForest::fit(&ds, &params).expect("forest fits").feature_importance().to_vec()
     };
     (fit(ttft), fit(itl))
 }
@@ -102,8 +99,13 @@ pub fn run() {
     let weight = ttft_imp[2].max(itl_imp[2]);
     let cpu_mem = ttft_imp[0].max(ttft_imp[1]).max(itl_imp[0]).max(itl_imp[1]);
     if cpu_mem > 0.0 {
-        println!("\nbatch weight vs CPU/memory importance ratio: {:.0}x (paper: >300x)", weight / cpu_mem);
+        println!(
+            "\nbatch weight vs CPU/memory importance ratio: {:.0}x (paper: >300x)",
+            weight / cpu_mem
+        );
     } else {
-        println!("\nCPU/memory importance is exactly zero (paper: near-zero, >300x below batch weight)");
+        println!(
+            "\nCPU/memory importance is exactly zero (paper: near-zero, >300x below batch weight)"
+        );
     }
 }

@@ -17,12 +17,7 @@ use crate::{build_sampler, build_traces, header, DEFAULT_TRACE_REQUESTS};
 pub fn characterization() -> CharacterizationDataset {
     let traces = build_traces(DEFAULT_TRACE_REQUESTS);
     let sampler = build_sampler(&traces);
-    characterize(
-        &[flan_t5_xxl()],
-        &paper_profiles(),
-        &sampler,
-        &CharacterizeConfig::default(),
-    )
+    characterize(&[flan_t5_xxl()], &paper_profiles(), &sampler, &CharacterizeConfig::default())
 }
 
 /// Run and print the experiment.
@@ -38,11 +33,7 @@ pub fn run() {
             "{:>6} {:>12} {:>10} {:>10} {:>14}",
             "users", "tput [tok/s]", "TTFT [s]", "ITL [s]", "tput per $/h"
         );
-        let mut rows: Vec<_> = ds
-            .rows
-            .iter()
-            .filter(|r| &r.profile == profile_name)
-            .collect();
+        let mut rows: Vec<_> = ds.rows.iter().filter(|r| &r.profile == profile_name).collect();
         rows.sort_by_key(|r| r.users);
         for r in rows {
             println!(
@@ -80,6 +71,8 @@ pub fn run() {
             "\nhighest raw throughput: {tp} ({tv:.0} tok/s); \
              highest throughput per dollar: {vp} ({vv:.0} tok/s per $/h)"
         );
-        println!("paper: H100 profiles win on raw throughput; A100/T4 win on throughput per dollar");
+        println!(
+            "paper: H100 profiles win on raw throughput; A100/T4 win on throughput per dollar"
+        );
     }
 }

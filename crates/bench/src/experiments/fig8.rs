@@ -100,8 +100,7 @@ pub fn run(tune_llm_pilot: bool) {
     let sota_success = sota.iter().map(|s| s.success_rate).sum::<f64>() / sota.len() as f64;
     let sota_overspend: Vec<f64> =
         sota.iter().map(|s| s.mean_overspend).filter(|v| v.is_finite()).collect();
-    let sota_overspend =
-        sota_overspend.iter().sum::<f64>() / sota_overspend.len().max(1) as f64;
+    let sota_overspend = sota_overspend.iter().sum::<f64>() / sota_overspend.len().max(1) as f64;
     println!(
         "\nLLM-Pilot vs state-of-the-art average: success {:.2} vs {:.2} ({:+.0}%), \
          overspend {:.2} vs {:.2}",

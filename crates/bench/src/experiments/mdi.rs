@@ -16,8 +16,7 @@ pub fn importance_study(num_rows: usize) -> (f64, Vec<(String, f64)>) {
     let latency = traces.latencies();
 
     let n = traces.len();
-    let rows: Vec<Vec<f64>> =
-        (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
+    let rows: Vec<Vec<f64>> = (0..n).map(|i| columns.iter().map(|c| c[i]).collect()).collect();
 
     // 80/20 split (records are time-ordered; stride split avoids drift bias).
     let train_idx: Vec<usize> = (0..n).filter(|i| i % 5 != 0).collect();
@@ -33,19 +32,14 @@ pub fn importance_study(num_rows: usize) -> (f64, Vec<(String, f64)>) {
     )
     .expect("valid dataset");
 
-    let forest = RandomForest::fit(
-        &train,
-        &ForestParams { n_trees: 40, ..ForestParams::default() },
-    )
-    .expect("forest fits");
+    let forest =
+        RandomForest::fit(&train, &ForestParams { n_trees: 40, ..ForestParams::default() })
+            .expect("forest fits");
     let pred = forest.predict(&test);
     let score = r2(test.targets(), &pred);
 
-    let mut ranked: Vec<(String, f64)> = params
-        .iter()
-        .zip(forest.feature_importance())
-        .map(|(p, &imp)| (p.name(), imp))
-        .collect();
+    let mut ranked: Vec<(String, f64)> =
+        params.iter().zip(forest.feature_importance()).map(|(p, &imp)| (p.name(), imp)).collect();
     ranked.sort_by(|a, b| b.1.total_cmp(&a.1));
     (score, ranked)
 }
@@ -59,7 +53,5 @@ pub fn run() {
     for (name, imp) in &ranked {
         println!("{name:>20}  {imp:.4}");
     }
-    println!(
-        "\npaper ranking: output tokens > input tokens > batch size > sampling params"
-    );
+    println!("\npaper ranking: output tokens > input tokens > batch size > sampling params");
 }

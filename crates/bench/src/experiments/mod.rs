@@ -12,6 +12,7 @@ pub mod mdi;
 pub mod overhead;
 pub mod paged;
 pub mod resilience;
+pub mod serve_load;
 pub mod speed;
 pub mod table1;
 pub mod table2;
@@ -38,6 +39,7 @@ pub fn catalog() -> Vec<(&'static str, &'static str)> {
         ("ablate_bins", "Ablation: workload-generator bin-count sweep"),
         ("ablate_paged", "Extension ablation: reservation vs paged-KV admission"),
         ("resilience", "Fault-injected sweeps: completeness and S/O vs fault rate x retries"),
+        ("serve_load", "llmpilot-serve load test: throughput and p50/p99, cold vs cached"),
         ("table4", "Our column of the benchmarking-tool comparison table"),
     ]
 }

@@ -29,8 +29,7 @@ pub fn sweep(policy: AdmissionPolicy) -> Vec<(u32, LoadMetrics)> {
         .map(|users| {
             let perf = PerfModel::new(llm.clone(), profile.clone(), PerfModelConfig::default());
             let mut engine = Engine::new(perf, weight).with_policy(policy);
-            let mut source =
-                WorkloadRequestSource::new(sampler.clone(), 0x9A6E ^ u64::from(users));
+            let mut source = WorkloadRequestSource::new(sampler.clone(), 0x9A6E ^ u64::from(users));
             let metrics = run_load_test(
                 &mut engine,
                 &mem,
@@ -56,10 +55,7 @@ pub fn run() {
     for ((users, r), (_, p)) in reserve.iter().zip(&paged) {
         println!(
             "{users:>6} {:>14.1} {:>14.1} {:>12.4} {:>12.4}",
-            r.throughput_tokens_per_s,
-            p.throughput_tokens_per_s,
-            r.itl_median_s,
-            p.itl_median_s
+            r.throughput_tokens_per_s, p.throughput_tokens_per_s, r.itl_median_s, p.itl_median_s
         );
     }
     let r_max = reserve.iter().map(|(_, m)| m.throughput_tokens_per_s).fold(0.0f64, f64::max);

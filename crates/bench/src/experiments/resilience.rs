@@ -30,11 +30,7 @@ use crate::{build_sampler, build_traces, header, DEFAULT_TRACE_REQUESTS, EXPERIM
 /// full default user sweep — the downstream evaluation recommends for
 /// U = 200 users and needs the complete capacity curve per cell.
 fn resilience_config() -> CharacterizeConfig {
-    CharacterizeConfig {
-        duration_s: 45.0,
-        warmup_s: 0.0,
-        ..CharacterizeConfig::default()
-    }
+    CharacterizeConfig { duration_s: 45.0, warmup_s: 0.0, ..CharacterizeConfig::default() }
 }
 
 /// The S/O score of LLM-Pilot trained on `ds`, or `None` when the dataset
@@ -57,15 +53,10 @@ pub fn run() {
     let config = resilience_config();
 
     // Fault-free baseline.
-    let (clean_ds, clean_report) = SweepDriver::new(
-        &llms,
-        &profiles,
-        &sampler,
-        config.clone(),
-        SweepOptions::default(),
-    )
-    .run()
-    .expect("no journal, no I/O to fail");
+    let (clean_ds, clean_report) =
+        SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
+            .run()
+            .expect("no journal, no I/O to fail");
     let clean_so = so_of(&clean_ds).expect("fault-free dataset covers the catalog");
     println!(
         "fault-free baseline: {} rows, {}/{} cells measured, S/O = {:.3}\n",

@@ -52,8 +52,7 @@ pub fn measure(traces: &TraceDataset) -> SpeedReport {
     let t1 = Instant::now();
     for _ in 0..reps {
         for _ in 0..draws {
-            sink =
-                sink.wrapping_add(u64::from(resampler.sample(&mut rng).input_tokens().unwrap()));
+            sink = sink.wrapping_add(u64::from(resampler.sample(&mut rng).input_tokens().unwrap()));
         }
     }
     let resample_time_s = t1.elapsed().as_secs_f64() / reps as f64;

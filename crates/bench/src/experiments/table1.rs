@@ -16,9 +16,8 @@ pub fn table(pods_list: &[u32], users_list: &[u32]) -> Vec<Vec<f64>> {
     pods_list
         .iter()
         .map(|&pods| {
-            let deployment =
-                Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), pods)
-                    .expect("feasible");
+            let deployment = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), pods)
+                .expect("feasible");
             users_list
                 .iter()
                 .map(|&users| {

@@ -45,8 +45,7 @@ pub fn run() {
     let mut total = 0usize;
     for (i, llm) in llms.iter().enumerate() {
         print!("{:<26}", llm.name);
-        let paper: Vec<char> =
-            PAPER_CELLS[i].1.chars().filter(|c| !c.is_whitespace()).collect();
+        let paper: Vec<char> = PAPER_CELLS[i].1.chars().filter(|c| !c.is_whitespace()).collect();
         for (j, _) in profiles.iter().enumerate() {
             let ours = matrix[i][j].glyph();
             let mark = if ours == paper[j].to_string() { ' ' } else { '*' };

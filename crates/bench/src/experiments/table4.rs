@@ -14,7 +14,10 @@ pub fn run() {
     let llms = ds.llms().len();
     let profiles = ds.profiles().len();
 
-    println!("{:<18} {:>20} {:>18} {:>10} {:>10}", "tool", "workload real data", "batch wt tuning", "#LLMs", "#GPUs");
+    println!(
+        "{:<18} {:>20} {:>18} {:>10} {:>10}",
+        "tool", "workload real data", "batch wt tuning", "#LLMs", "#GPUs"
+    );
     for (tool, real, tuning, l, g) in [
         ("Optimum", "x", "x", "34", "2"),
         ("LLMPerf", "x", "x", "3", "1"),
@@ -27,11 +30,7 @@ pub fn run() {
     }
     println!(
         "{:<18} {:>20} {:>18} {:>10} {:>10}   <- measured from this build",
-        "LLM-Pilot (ours)",
-        "Y",
-        "Y",
-        llms,
-        profiles
+        "LLM-Pilot (ours)", "Y", "Y", llms, profiles
     );
     println!("\npaper row: LLM-Pilot - real-data workload, tuned batch weight, 10 LLMs, 14 GPUs");
 }

@@ -102,14 +102,10 @@ where
         return Err(CoreError::InsufficientData("u_max must be >= 1".into()));
     }
     if config.min_pods == 0 || config.max_pods < config.min_pods {
-        return Err(CoreError::InsufficientData(
-            "need 1 <= min_pods <= max_pods".into(),
-        ));
+        return Err(CoreError::InsufficientData("need 1 <= min_pods <= max_pods".into()));
     }
     if config.evaluation_interval_s <= 0.0 || duration_s <= 0.0 {
-        return Err(CoreError::InsufficientData(
-            "interval and duration must be positive".into(),
-        ));
+        return Err(CoreError::InsufficientData("interval and duration must be positive".into()));
     }
     if config.headroom < 1.0 {
         return Err(CoreError::InsufficientData("headroom must be >= 1.0".into()));
@@ -213,14 +209,12 @@ mod tests {
 
     #[test]
     fn constant_demand_settles_at_the_exact_pod_count() {
-        let outcome =
-            simulate_autoscaler(&config(), 16, 7_200.0, |_| 100).expect("valid config");
+        let outcome = simulate_autoscaler(&config(), 16, 7_200.0, |_| 100).expect("valid config");
         let last = outcome.timeline.last().unwrap();
         assert_eq!(last.ready_pods, 7); // ceil(100/16)
         assert_eq!(last.starting_pods, 0);
         // After the first startup window, the SLA holds.
-        let after_warm: Vec<_> =
-            outcome.timeline.iter().filter(|s| s.time_s > 300.0).collect();
+        let after_warm: Vec<_> = outcome.timeline.iter().filter(|s| s.time_s > 300.0).collect();
         assert!(after_warm.iter().all(|s| s.sla_met));
     }
 
@@ -230,12 +224,8 @@ mod tests {
         // startup, then closes.
         let step = |t: f64| if t < 3_600.0 { 10 } else { 200 };
         let outcome = simulate_autoscaler(&config(), 16, 7_200.0, step).unwrap();
-        let misses: Vec<f64> = outcome
-            .timeline
-            .iter()
-            .filter(|s| !s.sla_met)
-            .map(|s| s.time_s)
-            .collect();
+        let misses: Vec<f64> =
+            outcome.timeline.iter().filter(|s| !s.sla_met).map(|s| s.time_s).collect();
         assert!(!misses.is_empty(), "a step must cause a transient miss");
         assert!(misses.iter().all(|&t| (3_600.0..3_600.0 + 300.0).contains(&t)));
         assert!(outcome.sla_attainment > 0.9);

@@ -26,9 +26,7 @@ use llmpilot_sim::llm::{llm_by_name, LlmSpec};
 use crate::dataset::PerfRow;
 use crate::error::CoreError;
 use crate::features::featurize;
-use crate::predictor::{
-    tune_hyperparameters, PerformancePredictor, PredictorConfig, Target,
-};
+use crate::predictor::{tune_hyperparameters, PerformancePredictor, PredictorConfig, Target};
 use crate::recommend::{parse_profile, recommend, Recommendation, RecommendationRequest};
 
 /// The two reference profiles PARIS/Selecta/Morphling measure the unseen
@@ -142,11 +140,8 @@ impl Method for LlmPilotMethod {
                 self.hp_grid.clone(),
             )?;
         }
-        let model = PerformancePredictor::train(
-            &input.train_rows,
-            &input.request.constraints,
-            &config,
-        )?;
+        let model =
+            PerformancePredictor::train(&input.train_rows, &input.request.constraints, &config)?;
         let mut grid = PredictionGrid::default();
         for p in input.profiles {
             for &u in &input.request.user_grid {
@@ -227,8 +222,7 @@ impl RfMethod {
         }
         if self.use_references {
             for (llm, rows) in &rows_by_llm {
-                per_llm_refs
-                    .insert(llm, reference_features(rows, &input.request.user_grid));
+                per_llm_refs.insert(llm, reference_features(rows, &input.request.user_grid));
             }
         }
         let mut feature_rows = Vec::with_capacity(input.train_rows.len());
@@ -334,8 +328,7 @@ impl SelectaMethod {
             let Some(&col) = col_of.get(&(r.profile.clone(), r.users)) else { continue };
             entries.push((test_row, col, target.of(r).max(1e-9).ln()));
         }
-        let model =
-            MatrixFactorization::fit(test_row + 1, columns.len(), &entries, &self.mf)?;
+        let model = MatrixFactorization::fit(test_row + 1, columns.len(), &entries, &self.mf)?;
         Ok(columns
             .iter()
             .enumerate()
@@ -407,11 +400,9 @@ impl NnMethod {
 
     fn params(&self) -> MlpParams {
         match self.variant {
-            NnVariant::PerfNet => MlpParams {
-                hidden_layers: vec![32],
-                epochs: self.epochs,
-                ..MlpParams::default()
-            },
+            NnVariant::PerfNet => {
+                MlpParams { hidden_layers: vec![32], epochs: self.epochs, ..MlpParams::default() }
+            }
             NnVariant::PerfNetV2 | NnVariant::Morphling => MlpParams {
                 hidden_layers: vec![64, 32],
                 epochs: self.epochs,
@@ -424,11 +415,7 @@ impl NnMethod {
         self.variant != NnVariant::PerfNet
     }
 
-    fn build_dataset(
-        &self,
-        rows: &[&PerfRow],
-        target: Target,
-    ) -> Result<Dataset, CoreError> {
+    fn build_dataset(&self, rows: &[&PerfRow], target: Target) -> Result<Dataset, CoreError> {
         let mut feature_rows = Vec::with_capacity(rows.len());
         let mut targets = Vec::with_capacity(rows.len());
         for r in rows {
@@ -572,7 +559,7 @@ mod tests {
         let with = reference_features(&[&row], &grid);
         assert_eq!(with.len(), empty.len());
         assert_eq!(with[0], 1.0); // presence flag for 1xT4
-        // The users=2 slot carries the metrics.
+                                  // The users=2 slot carries the metrics.
         assert!(with.contains(&0.005) && with.contains(&55.0));
     }
 

@@ -227,10 +227,7 @@ pub fn characterize_cell_faulty(
     }
     if plan.deploy_fails(&site) {
         return CellOutcome::Failed {
-            error: SimError::DeployFailed {
-                llm: llm.name.to_string(),
-                profile: profile.name(),
-            },
+            error: SimError::DeployFailed { llm: llm.name.to_string(), profile: profile.name() },
             attempts,
         };
     }
@@ -308,10 +305,8 @@ pub fn characterize(
     sampler: &WorkloadSampler,
     config: &CharacterizeConfig,
 ) -> CharacterizationDataset {
-    let cells: Vec<(LlmSpec, GpuProfile)> = llms
-        .iter()
-        .flat_map(|m| profiles.iter().map(move |p| (m.clone(), p.clone())))
-        .collect();
+    let cells: Vec<(LlmSpec, GpuProfile)> =
+        llms.iter().flat_map(|m| profiles.iter().map(move |p| (m.clone(), p.clone()))).collect();
 
     type MeasuredCell = (String, String, u64, Vec<PerfRow>);
     let results: Vec<Option<MeasuredCell>> = cells
@@ -342,7 +337,8 @@ pub fn estimate_real_overhead_hours(
     duration_s: f64,
     tuning_minutes_per_llm: f64,
 ) -> f64 {
-    let load_minutes_per_llm = 4.0 /* deploy + warmup */ + user_sweep_len as f64 * duration_s / 60.0;
+    let load_minutes_per_llm =
+        4.0 /* deploy + warmup */ + user_sweep_len as f64 * duration_s / 60.0;
     num_llms as f64 * (tuning_minutes_per_llm + load_minutes_per_llm) / 60.0
 }
 
@@ -380,14 +376,10 @@ mod tests {
     #[test]
     fn cell_produces_one_row_per_user_count() {
         let s = sampler();
-        let (weight, rows) = characterize_cell(
-            &llama2_13b(),
-            &GpuProfile::new(a100_40(), 1),
-            &s,
-            &quick_config(),
-        )
-        .measured()
-        .unwrap();
+        let (weight, rows) =
+            characterize_cell(&llama2_13b(), &GpuProfile::new(a100_40(), 1), &s, &quick_config())
+                .measured()
+                .unwrap();
         assert!(weight > 0);
         assert_eq!(rows.len(), 3);
         for r in &rows {
@@ -421,10 +413,7 @@ mod tests {
         // infeasible one. It must surface as a retryable `Failed`.
         use llmpilot_sim::fault::{FaultConfig, FaultPlan};
         let s = sampler();
-        let plan = FaultPlan::new(FaultConfig {
-            crash_prob: 1.0,
-            ..FaultConfig::disabled()
-        });
+        let plan = FaultPlan::new(FaultConfig { crash_prob: 1.0, ..FaultConfig::disabled() });
         let out = characterize_cell_faulty(
             &llama2_13b(),
             &GpuProfile::new(a100_40(), 1),

@@ -82,9 +82,7 @@ impl CharacterizationDataset {
 
     /// Look up one measurement.
     pub fn get(&self, llm: &str, profile: &str, users: u32) -> Option<&PerfRow> {
-        self.rows
-            .iter()
-            .find(|r| r.llm == llm && r.profile == profile && r.users == users)
+        self.rows.iter().find(|r| r.llm == llm && r.profile == profile && r.users == users)
     }
 
     /// Whether the `(llm, profile)` cell was feasible (has any rows).
@@ -104,6 +102,44 @@ impl CharacterizationDataset {
             .expect("write to String cannot fail");
         }
         out
+    }
+
+    /// Structural validation for datasets crossing a trust boundary (e.g.
+    /// hot-reloaded by a serving daemon): every row must name a catalog LLM
+    /// and a parseable GPU profile, have `users ≥ 1` and finite,
+    /// non-negative metrics, and no `(llm, profile, users)` key may repeat.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        use std::collections::BTreeSet;
+        let mut seen: BTreeSet<(&str, &str, u32)> = BTreeSet::new();
+        for (i, r) in self.rows.iter().enumerate() {
+            let ctx = |what: &str| CoreError::Parse(format!("row {i}: {what}"));
+            if llmpilot_sim::llm::llm_by_name(&r.llm).is_none() {
+                return Err(ctx(&format!("unknown LLM {:?}", r.llm)));
+            }
+            if crate::recommend::parse_profile(&r.profile).is_none() {
+                return Err(ctx(&format!("unknown GPU profile {:?}", r.profile)));
+            }
+            if r.users == 0 {
+                return Err(ctx("users must be >= 1"));
+            }
+            for (name, v) in [
+                ("ttft_s", r.ttft_s),
+                ("nttft_s", r.nttft_s),
+                ("itl_s", r.itl_s),
+                ("throughput", r.throughput),
+            ] {
+                if !v.is_finite() || v < 0.0 {
+                    return Err(ctx(&format!("{name} must be finite and non-negative, got {v}")));
+                }
+            }
+            if !seen.insert((r.llm.as_str(), r.profile.as_str(), r.users)) {
+                return Err(ctx(&format!(
+                    "duplicate measurement ({}, {}, {})",
+                    r.llm, r.profile, r.users
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// Parse the CSV produced by [`Self::to_csv`] (tuned weights are not
@@ -194,12 +230,52 @@ mod tests {
     #[test]
     fn csv_rejects_malformed_lines() {
         assert!(CharacterizationDataset::from_csv("h\na,b,c\n").is_err());
-        assert!(
-            CharacterizationDataset::from_csv("h\na,p,x,0.1,0.2,0.3,4\n").is_err()
-        );
-        assert!(
-            CharacterizationDataset::from_csv("h\na,p,1,zz,0.2,0.3,4\n").is_err()
-        );
+        assert!(CharacterizationDataset::from_csv("h\na,p,x,0.1,0.2,0.3,4\n").is_err());
+        assert!(CharacterizationDataset::from_csv("h\na,p,1,zz,0.2,0.3,4\n").is_err());
+    }
+
+    fn valid_row() -> PerfRow {
+        PerfRow {
+            llm: "Llama-2-7b".into(),
+            profile: "1xA100-40GB".into(),
+            users: 1,
+            ttft_s: 0.1,
+            nttft_s: 0.001,
+            itl_s: 0.02,
+            throughput: 100.0,
+        }
+    }
+
+    #[test]
+    fn validate_accepts_catalog_rows() {
+        let ds = CharacterizationDataset { rows: vec![valid_row()], ..Default::default() };
+        assert!(ds.validate().is_ok());
+        assert!(CharacterizationDataset::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_rows() {
+        let cases: Vec<(&str, Box<dyn Fn(&mut PerfRow)>)> = vec![
+            ("unknown llm", Box::new(|r| r.llm = "no-such-llm".into())),
+            ("unknown profile", Box::new(|r| r.profile = "9xB200".into())),
+            ("zero users", Box::new(|r| r.users = 0)),
+            ("nan latency", Box::new(|r| r.itl_s = f64::NAN)),
+            ("negative throughput", Box::new(|r| r.throughput = -1.0)),
+            ("infinite ttft", Box::new(|r| r.ttft_s = f64::INFINITY)),
+        ];
+        for (what, mutate) in cases {
+            let mut row = valid_row();
+            mutate(&mut row);
+            let ds = CharacterizationDataset { rows: vec![row], ..Default::default() };
+            assert!(ds.validate().is_err(), "validate should reject {what}");
+        }
+    }
+
+    #[test]
+    fn validate_rejects_duplicate_keys() {
+        let ds =
+            CharacterizationDataset { rows: vec![valid_row(), valid_row()], ..Default::default() };
+        assert!(matches!(ds.validate(), Err(CoreError::Parse(msg)) if msg.contains("duplicate")));
     }
 
     #[test]

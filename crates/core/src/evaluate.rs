@@ -34,11 +34,8 @@ pub fn true_u_max(
     profile: &str,
     constraints: &LatencyConstraints,
 ) -> Option<u32> {
-    let mut rows: Vec<_> = dataset
-        .rows
-        .iter()
-        .filter(|r| r.llm == llm && r.profile == profile)
-        .collect();
+    let mut rows: Vec<_> =
+        dataset.rows.iter().filter(|r| r.llm == llm && r.profile == profile).collect();
     if rows.is_empty() {
         return None;
     }
@@ -154,15 +151,10 @@ impl<'a> Evaluation<'a> {
         let (success, overspend) = match &recommendation {
             None => (false, None),
             Some(r) => {
-                let success = true_u_max(
-                    self.dataset,
-                    llm,
-                    &r.profile,
-                    &self.request.constraints,
-                )
-                .is_some_and(|u| {
-                    u64::from(r.pods) * u64::from(u) >= u64::from(self.request.total_users)
-                });
+                let success = true_u_max(self.dataset, llm, &r.profile, &self.request.constraints)
+                    .is_some_and(|u| {
+                        u64::from(r.pods) * u64::from(u) >= u64::from(self.request.total_users)
+                    });
                 let overspend = if success {
                     oracle.as_ref().map(|o| {
                         // Actual cost of the recommendation vs the oracle's.
@@ -242,9 +234,7 @@ impl<'a> Evaluation<'a> {
 /// considered a broad range of static policies and present the one which
 /// achieved the highest S/O score." Returns the winning policy with its
 /// score.
-pub fn best_static_policy(
-    eval: &Evaluation<'_>,
-) -> (crate::baselines::StaticMethod, MethodScore) {
+pub fn best_static_policy(eval: &Evaluation<'_>) -> (crate::baselines::StaticMethod, MethodScore) {
     let candidates = crate::baselines::StaticMethod::candidate_grid(&eval.profiles);
     candidates
         .into_iter()
@@ -302,11 +292,8 @@ mod tests {
     fn dataset() -> CharacterizationDataset {
         let mut ds = CharacterizationDataset::default();
         for users in [1u32, 2, 4, 8, 16, 32, 64, 128] {
-            for (profile, cap) in
-                [("1xH100-80GB", 64u32), ("1xA100-40GB", 16), ("1xT4-16GB", 0)]
-            {
-                let (nttft, itl) =
-                    if users <= cap { (0.01, 0.01) } else { (0.5, 0.5) };
+            for (profile, cap) in [("1xH100-80GB", 64u32), ("1xA100-40GB", 16), ("1xT4-16GB", 0)] {
+                let (nttft, itl) = if users <= cap { (0.01, 0.01) } else { (0.5, 0.5) };
                 ds.rows.push(row("Llama-2-7b", profile, users, nttft, itl));
             }
         }
@@ -357,8 +344,7 @@ mod tests {
         ];
         let eval = Evaluation::new(&ds, profiles.clone());
         // A recommendation matching the oracle: success, overspend 0.
-        let oracle =
-            oracle_recommendation(&ds, "Llama-2-7b", &profiles, &eval.request).unwrap();
+        let oracle = oracle_recommendation(&ds, "Llama-2-7b", &profiles, &eval.request).unwrap();
         let out = eval.judge("Llama-2-7b", Ok(oracle.clone()));
         assert!(out.success);
         assert!(out.overspend.unwrap().abs() < 1e-12);

@@ -27,8 +27,7 @@ pub const LLM_FAMILIES: &[&str] =
 /// Feature names, aligned with [`featurize`]'s output. `include_derived`
 /// appends LLM-Pilot's derived features (baselines use the raw list).
 pub fn feature_names(include_derived: bool) -> Vec<String> {
-    let mut names: Vec<String> =
-        LLM_FAMILIES.iter().map(|f| format!("llm_family_{f}")).collect();
+    let mut names: Vec<String> = LLM_FAMILIES.iter().map(|f| format!("llm_family_{f}")).collect();
     names.extend(
         [
             "llm_encoder_decoder",
@@ -130,9 +129,7 @@ pub fn featurize(
         let mem_model = MemoryModel::new(llm.clone(), profile.clone(), MemoryConfig::default());
         out.push(llm.weight_bytes() / (1024.0 * 1024.0 * 1024.0));
         out.push(llm.kv_bytes_per_token() / 1024.0);
-        out.push(
-            (mem_model.batch_budget_bytes() / llm.kv_bytes_per_token()).max(0.0) / 1000.0,
-        );
+        out.push((mem_model.batch_budget_bytes() / llm.kv_bytes_per_token()).max(0.0) / 1000.0);
     }
 
     out.push(f64::from(users));

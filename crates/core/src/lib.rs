@@ -27,6 +27,7 @@ pub mod evaluate;
 pub mod features;
 pub mod predictor;
 pub mod recommend;
+pub mod serving;
 pub mod sweep;
 pub mod weights;
 
@@ -37,7 +38,8 @@ pub use characterize::{
 };
 pub use dataset::{CharacterizationDataset, PerfRow};
 pub use error::CoreError;
-pub use sweep::{CellStatus, SweepDriver, SweepOptions, SweepReport};
 pub use evaluate::{so_score, true_u_max, Evaluation, MethodScore};
 pub use predictor::{PerformancePredictor, PredictorConfig};
 pub use recommend::{recommend, LatencyConstraints, Recommendation, RecommendationRequest};
+pub use serving::{online_predictor_config, ServingModel};
+pub use sweep::{CellStatus, SweepDriver, SweepOptions, SweepReport};

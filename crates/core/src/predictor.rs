@@ -5,9 +5,7 @@
 //! users, with hyperparameters tuned by leave-one-LLM-out cross-validation
 //! minimizing the weighted MAPE.
 
-use llmpilot_ml::{
-    grid_search, leave_one_group_out, weighted_mape, Dataset, Gbdt, GbdtParams,
-};
+use llmpilot_ml::{grid_search, leave_one_group_out, weighted_mape, Dataset, Gbdt, GbdtParams};
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::{llm_by_name, LlmSpec};
 
@@ -106,16 +104,17 @@ impl PerformancePredictor {
         config: &PredictorConfig,
     ) -> Result<Self, CoreError> {
         let mut gbdt = config.gbdt.clone();
-        gbdt.monotone_constraints = if config.use_monotone_constraint {
-            monotone_constraints(true)
-        } else {
-            Vec::new()
-        };
+        gbdt.monotone_constraints =
+            if config.use_monotone_constraint { monotone_constraints(true) } else { Vec::new() };
         let fit = |target: Target| -> Result<Gbdt, CoreError> {
             let ds = build_dataset(rows, target, constraints, config)?;
             Ok(Gbdt::fit(&ds, &gbdt)?)
         };
-        Ok(Self { nttft: fit(Target::Nttft)?, itl: fit(Target::Itl)?, log_target: config.log_target })
+        Ok(Self {
+            nttft: fit(Target::Nttft)?,
+            itl: fit(Target::Itl)?,
+            log_target: config.log_target,
+        })
     }
 
     /// Predict `(nTTFT, ITL)` in seconds for an LLM on a profile at a user
@@ -182,10 +181,8 @@ pub fn tune_hyperparameters(
             "HP tuning needs at least two LLMs for leave-one-out splits".into(),
         ));
     }
-    let groups: Vec<usize> = rows
-        .iter()
-        .map(|r| llms.binary_search(&r.llm.as_str()).expect("llm present"))
-        .collect();
+    let groups: Vec<usize> =
+        rows.iter().map(|r| llms.binary_search(&r.llm.as_str()).expect("llm present")).collect();
     let folds = leave_one_group_out(&groups);
 
     let all_weights = constraint_proximity_weights(rows, constraints);
@@ -196,8 +193,7 @@ pub fn tune_hyperparameters(
             return f64::NAN;
         }
         let fold_config = PredictorConfig { gbdt: candidate.clone(), ..config.clone() };
-        let Ok(model) = PerformancePredictor::train(&train_rows, constraints, &fold_config)
-        else {
+        let Ok(model) = PerformancePredictor::train(&train_rows, constraints, &fold_config) else {
             return f64::NAN;
         };
         let mut errors = 0.0;
@@ -296,11 +292,7 @@ mod tests {
                 ok += 1;
             }
         }
-        assert!(
-            ok * 10 >= ds.rows.len() * 8,
-            "only {ok}/{} rows within 3x",
-            ds.rows.len()
-        );
+        assert!(ok * 10 >= ds.rows.len() * 8, "only {ok}/{} rows within 3x", ds.rows.len());
     }
 
     #[test]
@@ -309,8 +301,7 @@ mod tests {
         let rows: Vec<&PerfRow> = ds.rows.iter().collect();
         let constraints = LatencyConstraints::paper_defaults();
         let model =
-            PerformancePredictor::train(&rows, &constraints, &PredictorConfig::default())
-                .unwrap();
+            PerformancePredictor::train(&rows, &constraints, &PredictorConfig::default()).unwrap();
         let llm = llama2_13b();
         let profile = GpuProfile::new(a100_40(), 1);
         let mut last = (0.0f64, 0.0f64);
@@ -358,8 +349,7 @@ mod tests {
     #[test]
     fn tuning_needs_two_llms() {
         let ds = small_characterization();
-        let rows: Vec<&PerfRow> =
-            ds.rows.iter().filter(|r| r.llm == "Llama-2-13b").collect();
+        let rows: Vec<&PerfRow> = ds.rows.iter().filter(|r| r.llm == "Llama-2-13b").collect();
         let config = PredictorConfig::default();
         assert!(matches!(
             tune_hyperparameters(

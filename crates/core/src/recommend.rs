@@ -72,10 +72,7 @@ pub struct Recommendation {
 /// constraints under the latency estimates `(users, nttft, itl)`. Returns
 /// `None` when even the smallest user count violates a constraint. The grid
 /// must be ascending in users.
-pub fn u_max(
-    latencies: &[(u32, f64, f64)],
-    constraints: &LatencyConstraints,
-) -> Option<u32> {
+pub fn u_max(latencies: &[(u32, f64, f64)], constraints: &LatencyConstraints) -> Option<u32> {
     debug_assert!(latencies.windows(2).all(|w| w[0].0 < w[1].0), "grid must ascend");
     let mut best = None;
     for &(users, nttft, itl) in latencies {
@@ -137,17 +134,18 @@ where
         };
         let pods = pods_needed(request.total_users, cap);
         let cost = f64::from(pods) * profile.cost_per_hour();
-        let candidate = Recommendation {
-            profile: profile.name(),
-            pods,
-            u_max: cap,
-            cost_per_hour: cost,
-        };
+        let candidate =
+            Recommendation { profile: profile.name(), pods, u_max: cap, cost_per_hour: cost };
+        // Equal-cost candidates tie-break on the stable key (profile name,
+        // then pods) so recommendations are reproducible regardless of the
+        // order the candidate profiles were supplied in.
         let better = match &best {
             None => true,
             Some(b) => {
                 cost < b.cost_per_hour - 1e-12
-                    || ((cost - b.cost_per_hour).abs() <= 1e-12 && candidate.profile < b.profile)
+                    || ((cost - b.cost_per_hour).abs() <= 1e-12
+                        && (candidate.profile.as_str(), candidate.pods)
+                            < (b.profile.as_str(), b.pods))
             }
         };
         if better {
@@ -170,7 +168,7 @@ mod tests {
             (1, 0.01, 0.02),
             (2, 0.02, 0.03),
             (4, 0.05, 0.04),
-            (8, 0.2, 0.04),  // violates nTTFT
+            (8, 0.2, 0.04),   // violates nTTFT
             (16, 0.01, 0.01), // satisfied again, but must NOT count (∀ u' ≤ u)
         ];
         assert_eq!(u_max(&lat, &L), Some(4));
@@ -203,8 +201,11 @@ mod tests {
 
     #[test]
     fn recommend_picks_cheapest_satisfying_profile() {
-        let profiles =
-            vec![GpuProfile::new(h100(), 1), GpuProfile::new(a100_40(), 1), GpuProfile::new(t4(), 1)];
+        let profiles = vec![
+            GpuProfile::new(h100(), 1),
+            GpuProfile::new(a100_40(), 1),
+            GpuProfile::new(t4(), 1),
+        ];
         let request = RecommendationRequest {
             total_users: 100,
             constraints: L,
@@ -238,11 +239,8 @@ mod tests {
     #[test]
     fn recommend_skips_profiles_without_predictions() {
         let profiles = vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1)];
-        let request = RecommendationRequest {
-            total_users: 10,
-            constraints: L,
-            user_grid: vec![1, 2],
-        };
+        let request =
+            RecommendationRequest { total_users: 10, constraints: L, user_grid: vec![1, 2] };
         let rec = recommend(&profiles, &request, |p, _| {
             if p.gpu.name == "T4-16GB" {
                 None
@@ -257,13 +255,31 @@ mod tests {
     #[test]
     fn tie_breaks_are_deterministic() {
         let profiles = vec![GpuProfile::new(a100_40(), 1), GpuProfile::new(a100_40(), 1)];
-        let request = RecommendationRequest {
-            total_users: 1,
-            constraints: L,
-            user_grid: vec![1],
-        };
+        let request = RecommendationRequest { total_users: 1, constraints: L, user_grid: vec![1] };
         let rec = recommend(&profiles, &request, |_, _| Some((0.0, 0.0))).unwrap();
         assert_eq!(rec.profile, "1xA100-40GB");
+    }
+
+    #[test]
+    fn equal_cost_tie_breaks_by_profile_name_then_pods_order_independently() {
+        // 1×T4 at $0.53/h serving 1 user/pod needs 2 pods for 2 users
+        // ($1.06/h); 2×T4 at $1.06/h serving 2 users/pod needs 1 pod
+        // ($1.06/h). Exact cost tie — the stable key picks "1xT4-16GB"
+        // (lexicographically smaller name), independent of candidate order.
+        let request =
+            RecommendationRequest { total_users: 2, constraints: L, user_grid: vec![1, 2] };
+        let predict = |p: &GpuProfile, u: u32| {
+            let cap = p.count; // u_max equals the GPU count in this setup
+            Some(if u <= cap { (0.01, 0.01) } else { (1.0, 1.0) })
+        };
+        let forward = vec![GpuProfile::new(t4(), 1), GpuProfile::new(t4(), 2)];
+        let reverse = vec![GpuProfile::new(t4(), 2), GpuProfile::new(t4(), 1)];
+        let a = recommend(&forward, &request, predict).unwrap();
+        let b = recommend(&reverse, &request, predict).unwrap();
+        assert_eq!(a, b, "recommendation must not depend on candidate order");
+        assert_eq!(a.profile, "1xT4-16GB");
+        assert_eq!(a.pods, 2);
+        assert!((a.cost_per_hour - 2.0 * 0.53).abs() < 1e-9);
     }
 
     #[test]

@@ -111,26 +111,17 @@ pub struct SweepReport {
 impl SweepReport {
     /// Number of measured cells.
     pub fn measured(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|(_, _, s)| matches!(s, CellStatus::Measured { .. }))
-            .count()
+        self.cells.iter().filter(|(_, _, s)| matches!(s, CellStatus::Measured { .. })).count()
     }
 
     /// Number of infeasible cells.
     pub fn infeasible(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|(_, _, s)| matches!(s, CellStatus::Infeasible(_)))
-            .count()
+        self.cells.iter().filter(|(_, _, s)| matches!(s, CellStatus::Infeasible(_))).count()
     }
 
     /// Number of failed cells.
     pub fn failed(&self) -> usize {
-        self.cells
-            .iter()
-            .filter(|(_, _, s)| matches!(s, CellStatus::Failed { .. }))
-            .count()
+        self.cells.iter().filter(|(_, _, s)| matches!(s, CellStatus::Failed { .. })).count()
     }
 
     /// Number of cells that needed more than one attempt.
@@ -250,10 +241,7 @@ fn journal_lines(llm: &str, profile: &str, status: &CellStatus) -> String {
             out.push_str(&format!("cell,{llm},{profile},infeasible,{}\n", sanitize(reason)));
         }
         CellStatus::Failed { error, attempts } => {
-            out.push_str(&format!(
-                "cell,{llm},{profile},failed,{attempts},{}\n",
-                sanitize(error)
-            ));
+            out.push_str(&format!("cell,{llm},{profile},failed,{attempts},{}\n", sanitize(error)));
         }
     }
     out
@@ -354,9 +342,7 @@ fn parse_journal_line(
                         return Err(bad("short measured marker"));
                     }
                     let status = CellStatus::Measured {
-                        max_batch_weight: fields[3]
-                            .parse()
-                            .map_err(|_| bad("bad batch weight"))?,
+                        max_batch_weight: fields[3].parse().map_err(|_| bad("bad batch weight"))?,
                         rows: Vec::new(),
                         attempts: fields[4].parse().map_err(|_| bad("bad attempts"))?,
                     };
@@ -387,8 +373,7 @@ fn parse_journal_line(
             if fields.len() != 7 {
                 return Err(bad("expected 7 row fields"));
             }
-            let parse_f =
-                |s: &str| s.parse::<f64>().map_err(|_| bad(&format!("bad float {s:?}")));
+            let parse_f = |s: &str| s.parse::<f64>().map_err(|_| bad(&format!("bad float {s:?}")));
             rows.push(PerfRow {
                 llm: fields[0].to_string(),
                 profile: fields[1].to_string(),
@@ -463,7 +448,8 @@ impl<'a> SweepDriver<'a> {
                             backoff,
                         );
                     }
-                    backoff += self.options.backoff_base_s * (2.0f64).powi((attempt - 1).min(60) as i32);
+                    backoff +=
+                        self.options.backoff_base_s * (2.0f64).powi((attempt - 1).min(60) as i32);
                 }
             }
         }
@@ -475,22 +461,18 @@ impl<'a> SweepDriver<'a> {
     /// in grid order — so a resumed sweep's dataset is bit-identical to a
     /// one-shot sweep's, regardless of which run measured which cell.
     pub fn run(&self) -> Result<(CharacterizationDataset, SweepReport), CoreError> {
-        let grid: Vec<(&LlmSpec, &GpuProfile)> = self
-            .llms
-            .iter()
-            .flat_map(|m| self.profiles.iter().map(move |p| (m, p)))
-            .collect();
+        let grid: Vec<(&LlmSpec, &GpuProfile)> =
+            self.llms.iter().flat_map(|m| self.profiles.iter().map(move |p| (m, p))).collect();
 
         // Restore finished cells from the journal.
-        let (mut done, journal_dirty): (CellMap, bool) =
-            match &self.options.journal_path {
-                Some(path) if path.exists() => {
-                    let text = std::fs::read_to_string(path)
-                        .map_err(|e| CoreError::Io(format!("reading journal {path:?}: {e}")))?;
-                    parse_journal(&text)?
-                }
-                _ => (BTreeMap::new(), false),
-            };
+        let (mut done, journal_dirty): (CellMap, bool) = match &self.options.journal_path {
+            Some(path) if path.exists() => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| CoreError::Io(format!("reading journal {path:?}: {e}")))?;
+                parse_journal(&text)?
+            }
+            _ => (BTreeMap::new(), false),
+        };
         let resumed = done.len();
 
         // Cells still to process, in grid order, capped per run.
@@ -618,11 +600,10 @@ mod tests {
     fn transient_faults_with_retries_recover_the_full_dataset() {
         let s = sampler();
         let (llms, profiles) = grid();
-        let clean =
-            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
-                .run()
-                .unwrap()
-                .0;
+        let clean = SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
+            .run()
+            .unwrap()
+            .0;
         let options = SweepOptions {
             // p = 0.4 on deploy + tuning + two load tests leaves only a
             // ~13% success chance per attempt; 64 attempts push the
@@ -631,9 +612,8 @@ mod tests {
             max_attempts: 64,
             ..SweepOptions::default()
         };
-        let (ds, report) = SweepDriver::new(&llms, &profiles, &s, quick_config(), options)
-            .run()
-            .unwrap();
+        let (ds, report) =
+            SweepDriver::new(&llms, &profiles, &s, quick_config(), options).run().unwrap();
         assert_eq!(ds, clean, "recovered dataset must be bit-identical");
         assert_eq!(report.failed(), 0);
     }
@@ -650,9 +630,8 @@ mod tests {
             max_attempts: 2,
             ..SweepOptions::default()
         };
-        let (ds, report) = SweepDriver::new(&llms, &profiles, &s, quick_config(), options)
-            .run()
-            .unwrap();
+        let (ds, report) =
+            SweepDriver::new(&llms, &profiles, &s, quick_config(), options).run().unwrap();
         assert!(ds.is_empty());
         assert_eq!(report.failed(), 3);
         assert_eq!(report.infeasible(), 1); // infeasibility checked pre-deploy
@@ -718,11 +697,7 @@ mod tests {
             (
                 "m".to_string(),
                 "p".to_string(),
-                CellStatus::Measured {
-                    max_batch_weight: 42_000,
-                    rows: vec![row],
-                    attempts: 3,
-                },
+                CellStatus::Measured { max_batch_weight: 42_000, rows: vec![row], attempts: 3 },
             ),
             ("m".to_string(), "q".to_string(), CellStatus::Infeasible("won't, ever".into())),
             (
@@ -769,8 +744,7 @@ mod tests {
         assert!(!parsed.contains_key(&("n".to_string(), "p".to_string())));
         // Torn exactly at a line boundary: the marker declares 2 rows but
         // only 1 survived — the cell is dropped for recomputation.
-        let boundary =
-            format!("{complete}cell,n,p,measured,1000,1,2\nn,p,1,0.1,0.2,0.3,4\n");
+        let boundary = format!("{complete}cell,n,p,measured,1000,1,2\nn,p,1,0.1,0.2,0.3,4\n");
         let (parsed, dirty) = parse_journal(&boundary).unwrap();
         assert!(dirty);
         assert_eq!(parsed.len(), 1);
@@ -803,21 +777,21 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sweep_torn_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let journal = dir.join("torn.csv");
-        let one_shot = SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
-            .run()
-            .unwrap()
-            .0;
+        let one_shot =
+            SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
+                .run()
+                .unwrap()
+                .0;
         // Run once journaled, then tear the journal: drop the last line (a
         // whole dataset row — the boundary case the parser cannot detect)
         // plus a few bytes of the one before.
-        let opts = || SweepOptions {
-            journal_path: Some(journal.clone()),
-            ..SweepOptions::default()
-        };
+        let opts =
+            || SweepOptions { journal_path: Some(journal.clone()), ..SweepOptions::default() };
         SweepDriver::new(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
         let text = std::fs::read_to_string(&journal).unwrap();
         let keep: Vec<&str> = text.lines().collect();
-        let torn = format!("{}\n{}", keep[..keep.len() - 2].join("\n"), &keep[keep.len() - 2][..10]);
+        let torn =
+            format!("{}\n{}", keep[..keep.len() - 2].join("\n"), &keep[keep.len() - 2][..10]);
         std::fs::write(&journal, torn).unwrap();
         // Resume must recompute the damaged cell and still match one-shot.
         let (ds, report) =

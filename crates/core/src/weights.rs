@@ -81,11 +81,8 @@ mod tests {
 
     #[test]
     fn weights_decrease_with_distance() {
-        let rows = [
-            row("m", "p", 1, 0.09, 0.049),
-            row("m", "p", 2, 0.2, 0.1),
-            row("m", "p", 4, 0.8, 0.4),
-        ];
+        let rows =
+            [row("m", "p", 1, 0.09, 0.049), row("m", "p", 2, 0.2, 0.1), row("m", "p", 4, 0.8, 0.4)];
         let refs: Vec<&PerfRow> = rows.iter().collect();
         let w = constraint_proximity_weights(&refs, &L);
         assert!(w[0] > w[1]);
@@ -123,11 +120,8 @@ mod tests {
     fn combined_weight_is_mean_of_both_terms() {
         // First row: at the nTTFT constraint but far on ITL; second the
         // reverse; third far on both.
-        let rows = [
-            row("m", "p", 1, 0.1, 0.5),
-            row("m", "p", 2, 1.0, 0.05),
-            row("m", "p", 4, 1.0, 0.5),
-        ];
+        let rows =
+            [row("m", "p", 1, 0.1, 0.5), row("m", "p", 2, 1.0, 0.05), row("m", "p", 4, 1.0, 0.5)];
         let refs: Vec<&PerfRow> = rows.iter().collect();
         let w = constraint_proximity_weights(&refs, &L);
         assert!((w[0] - 0.5).abs() < 1e-12);

@@ -128,13 +128,18 @@ mod tests {
     #[test]
     fn grid_search_skips_nan_folds() {
         let folds = leave_one_group_out(&[0, 1]);
-        let result = grid_search(vec![1.0f64, 2.0], &folds, |&c, fold| {
-            if fold.group == 0 {
-                f64::NAN
-            } else {
-                c
-            }
-        });
+        let result =
+            grid_search(
+                vec![1.0f64, 2.0],
+                &folds,
+                |&c, fold| {
+                    if fold.group == 0 {
+                        f64::NAN
+                    } else {
+                        c
+                    }
+                },
+            );
         assert_eq!(result.best, 1.0);
         assert_eq!(result.best_error, 1.0);
     }

@@ -17,11 +17,7 @@ pub struct Dataset {
 
 impl Dataset {
     /// Build a dataset from a row-major feature buffer.
-    pub fn new(
-        features: Vec<f64>,
-        n_cols: usize,
-        targets: Vec<f64>,
-    ) -> Result<Self, MlError> {
+    pub fn new(features: Vec<f64>, n_cols: usize, targets: Vec<f64>) -> Result<Self, MlError> {
         if n_cols == 0 {
             return Err(MlError::Shape("dataset needs at least one feature".into()));
         }
@@ -34,11 +30,7 @@ impl Dataset {
         }
         let n_rows = features.len() / n_cols;
         if targets.len() != n_rows {
-            return Err(MlError::Shape(format!(
-                "{} targets for {} rows",
-                targets.len(),
-                n_rows
-            )));
+            return Err(MlError::Shape(format!("{} targets for {} rows", targets.len(), n_rows)));
         }
         if features.iter().any(|v| !v.is_finite()) || targets.iter().any(|v| !v.is_finite()) {
             return Err(MlError::Shape("features and targets must be finite".into()));
@@ -142,10 +134,8 @@ impl Dataset {
             features.extend_from_slice(self.row(i));
             targets.push(self.targets[i]);
         }
-        let weights = self
-            .weights
-            .as_ref()
-            .map(|w| indices.iter().map(|&i| w[i]).collect::<Vec<f64>>());
+        let weights =
+            self.weights.as_ref().map(|w| indices.iter().map(|&i| w[i]).collect::<Vec<f64>>());
         Dataset {
             features,
             n_rows: indices.len(),

@@ -127,21 +127,17 @@ mod tests {
                 ]
             })
             .collect();
-        let targets: Vec<f64> = rows
-            .iter()
-            .map(|r| 5.0 * r[0] + 0.5 * r[1] + 0.05 * rng.random::<f64>())
-            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| 5.0 * r[0] + 0.5 * r[1] + 0.05 * rng.random::<f64>()).collect();
         (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
     }
 
     #[test]
     fn forest_fits_and_generalizes() {
         let (ds, targets) = make_data(600);
-        let forest = RandomForest::fit(
-            &ds,
-            &ForestParams { n_trees: 60, ..ForestParams::default() },
-        )
-        .unwrap();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_trees: 60, ..ForestParams::default() })
+                .unwrap();
         let pred = forest.predict(&ds);
         assert!(r2(&targets, &pred) > 0.95);
     }
@@ -149,11 +145,9 @@ mod tests {
     #[test]
     fn importance_ranks_dominant_feature_first() {
         let (ds, _) = make_data(800);
-        let forest = RandomForest::fit(
-            &ds,
-            &ForestParams { n_trees: 40, ..ForestParams::default() },
-        )
-        .unwrap();
+        let forest =
+            RandomForest::fit(&ds, &ForestParams { n_trees: 40, ..ForestParams::default() })
+                .unwrap();
         let imp = forest.feature_importance();
         assert!(imp[0] > imp[1], "imp = {imp:?}");
         assert!(imp[1] > imp[2], "imp = {imp:?}");

@@ -170,12 +170,7 @@ impl TreeBuilder<'_> {
 
         // Child bounds under a monotone constraint (XGBoost's mid-point
         // propagation).
-        let constraint = self
-            .params
-            .monotone_constraints
-            .get(feature)
-            .copied()
-            .unwrap_or(0);
+        let constraint = self.params.monotone_constraints.get(feature).copied().unwrap_or(0);
         let (left_bound, right_bound) = match constraint {
             0 => (bound, bound),
             _ => {
@@ -189,9 +184,8 @@ impl TreeBuilder<'_> {
         };
 
         self.nodes.push(Node::Leaf { value: 0.0 }); // placeholder
-        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) = rows
-            .into_iter()
-            .partition(|&r| self.binned[r as usize * self.n_cols + feature] <= bin);
+        let (left_rows, right_rows): (Vec<u32>, Vec<u32>) =
+            rows.into_iter().partition(|&r| self.binned[r as usize * self.n_cols + feature] <= bin);
         let left = self.build(left_rows, depth + 1, left_bound);
         let right = self.build(right_rows, depth + 1, right_bound);
         self.nodes[node_id as usize] =
@@ -219,16 +213,13 @@ impl TreeBuilder<'_> {
                 let b = usize::from(self.binned[r as usize * self.n_cols + f]);
                 hist[b].add(self.grad[r as usize], self.hess[r as usize]);
             }
-            let constraint =
-                self.params.monotone_constraints.get(f).copied().unwrap_or(0);
+            let constraint = self.params.monotone_constraints.get(f).copied().unwrap_or(0);
 
             let mut left = GradPair::default();
             for (b, pair) in hist.iter().take(nbins - 1).enumerate() {
                 left.add(pair.g, pair.h);
                 let right = GradPair { g: total.g - left.g, h: total.h - left.h };
-                if left.h < self.params.min_child_weight
-                    || right.h < self.params.min_child_weight
-                {
+                if left.h < self.params.min_child_weight || right.h < self.params.min_child_weight {
                     continue;
                 }
                 let gain = left.score(lambda) + right.score(lambda) - parent_score;
@@ -275,9 +266,7 @@ impl Gbdt {
             )));
         }
         if !(0.0..1.0).contains(&params.validation_fraction) {
-            return Err(MlError::InvalidConfig(
-                "validation_fraction must be in [0, 1)".into(),
-            ));
+            return Err(MlError::InvalidConfig("validation_fraction must be in [0, 1)".into()));
         }
 
         let bins = FeatureBins::fit(ds, params.max_bins);
@@ -339,8 +328,8 @@ impl Gbdt {
                 continue;
             }
             let features: Vec<usize> = if params.colsample < 1.0 {
-                let k = ((ds.n_cols() as f64 * params.colsample).ceil() as usize)
-                    .clamp(1, ds.n_cols());
+                let k =
+                    ((ds.n_cols() as f64 * params.colsample).ceil() as usize).clamp(1, ds.n_cols());
                 sample_without_replacement(ds.n_cols(), k, &mut rng)
             } else {
                 (0..ds.n_cols()).collect()
@@ -366,11 +355,9 @@ impl Gbdt {
             trees.push(tree);
 
             if !validation.is_empty() {
-                let mse: f64 = validation
-                    .iter()
-                    .map(|&i| (pred[i] - ds.targets()[i]).powi(2))
-                    .sum::<f64>()
-                    / validation.len() as f64;
+                let mse: f64 =
+                    validation.iter().map(|&i| (pred[i] - ds.targets()[i]).powi(2)).sum::<f64>()
+                        / validation.len() as f64;
                 let rmse = mse.sqrt();
                 if rmse + 1e-12 < best_val_rmse {
                     best_val_rmse = rmse;
@@ -403,8 +390,7 @@ impl Gbdt {
     /// Predict one feature row.
     pub fn predict_row(&self, row: &[f64]) -> f64 {
         self.base_score
-            + self.learning_rate
-                * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
+            + self.learning_rate * self.trees.iter().map(|t| t.predict_row(row)).sum::<f64>()
     }
 
     /// Predict every row of a dataset.
@@ -436,9 +422,8 @@ mod tests {
 
     fn make_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0]).collect();
         let targets: Vec<f64> =
             rows.iter().map(|r| (r[0] * 1.3).sin() * 2.0 + r[1] * r[1] * 0.4 + 1.0).collect();
         (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
@@ -475,16 +460,11 @@ mod tests {
         // globally non-decreasing along the constrained feature.
         let mut rng = StdRng::seed_from_u64(5);
         let rows: Vec<Vec<f64>> = (0..1200).map(|i| vec![f64::from(i) / 100.0]).collect();
-        let targets: Vec<f64> = rows
-            .iter()
-            .map(|r| r[0] * 2.0 + 3.0 * (rng.random::<f64>() - 0.5))
-            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| r[0] * 2.0 + 3.0 * (rng.random::<f64>() - 0.5)).collect();
         let ds = Dataset::from_rows(&rows, targets).unwrap();
-        let params = GbdtParams {
-            monotone_constraints: vec![1],
-            n_trees: 120,
-            ..GbdtParams::default()
-        };
+        let params =
+            GbdtParams { monotone_constraints: vec![1], n_trees: 120, ..GbdtParams::default() };
         let model = Gbdt::fit(&ds, &params).unwrap();
         let mut last = f64::NEG_INFINITY;
         for i in 0..=1200 {
@@ -502,16 +482,11 @@ mod tests {
     fn monotone_decreasing_constraint_is_enforced() {
         let mut rng = StdRng::seed_from_u64(6);
         let rows: Vec<Vec<f64>> = (0..800).map(|i| vec![f64::from(i) / 80.0]).collect();
-        let targets: Vec<f64> = rows
-            .iter()
-            .map(|r| -r[0] * 1.5 + 2.0 * (rng.random::<f64>() - 0.5))
-            .collect();
+        let targets: Vec<f64> =
+            rows.iter().map(|r| -r[0] * 1.5 + 2.0 * (rng.random::<f64>() - 0.5)).collect();
         let ds = Dataset::from_rows(&rows, targets).unwrap();
-        let params = GbdtParams {
-            monotone_constraints: vec![-1],
-            n_trees: 80,
-            ..GbdtParams::default()
-        };
+        let params =
+            GbdtParams { monotone_constraints: vec![-1], n_trees: 80, ..GbdtParams::default() };
         let model = Gbdt::fit(&ds, &params).unwrap();
         let mut last = f64::INFINITY;
         for i in 0..=800 {
@@ -526,16 +501,11 @@ mod tests {
         // Feature 0 constrained +1, feature 1 free with a non-monotone
         // effect the model must still capture.
         let mut rng = StdRng::seed_from_u64(7);
-        let rows: Vec<Vec<f64>> = (0..1500)
-            .map(|_| vec![rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0])
-            .collect();
-        let targets: Vec<f64> =
-            rows.iter().map(|r| r[0] + (r[1] * 2.0).sin() * 2.0).collect();
+        let rows: Vec<Vec<f64>> =
+            (0..1500).map(|_| vec![rng.random::<f64>() * 5.0, rng.random::<f64>() * 5.0]).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] + (r[1] * 2.0).sin() * 2.0).collect();
         let ds = Dataset::from_rows(&rows, targets.clone()).unwrap();
-        let params = GbdtParams {
-            monotone_constraints: vec![1, 0],
-            ..GbdtParams::default()
-        };
+        let params = GbdtParams { monotone_constraints: vec![1, 0], ..GbdtParams::default() };
         let model = Gbdt::fit(&ds, &params).unwrap();
         assert!(r2(&targets, &model.predict(&ds)) > 0.9);
         // Monotone in feature 0 for a fixed feature 1.
@@ -616,9 +586,8 @@ mod extension_tests {
 
     fn make_data(n: usize, seed: u64) -> (Dataset, Vec<f64>) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let rows: Vec<Vec<f64>> = (0..n)
-            .map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0])
-            .collect();
+        let rows: Vec<Vec<f64>> =
+            (0..n).map(|_| vec![rng.random::<f64>() * 4.0, rng.random::<f64>() * 4.0]).collect();
         let targets: Vec<f64> =
             rows.iter().map(|r| (r[0] * 1.3).sin() * 2.0 + r[1] * r[1] * 0.4 + 1.0).collect();
         (Dataset::from_rows(&rows, targets.clone()).unwrap(), targets)
@@ -667,24 +636,17 @@ mod extension_tests {
     #[test]
     fn invalid_validation_fraction_rejected() {
         let (ds, _) = make_data(50, 23);
-        assert!(Gbdt::fit(
-            &ds,
-            &GbdtParams { validation_fraction: 1.0, ..GbdtParams::default() }
-        )
-        .is_err());
-        assert!(Gbdt::fit(
-            &ds,
-            &GbdtParams { validation_fraction: -0.1, ..GbdtParams::default() }
-        )
-        .is_err());
+        assert!(Gbdt::fit(&ds, &GbdtParams { validation_fraction: 1.0, ..GbdtParams::default() })
+            .is_err());
+        assert!(Gbdt::fit(&ds, &GbdtParams { validation_fraction: -0.1, ..GbdtParams::default() })
+            .is_err());
     }
 
     #[test]
     fn monotone_constraint_holds_with_early_stopping() {
         let mut rng = StdRng::seed_from_u64(24);
         let rows: Vec<Vec<f64>> = (0..600).map(|i| vec![f64::from(i) / 60.0]).collect();
-        let targets: Vec<f64> =
-            rows.iter().map(|r| r[0] + (rng.random::<f64>() - 0.5)).collect();
+        let targets: Vec<f64> = rows.iter().map(|r| r[0] + (rng.random::<f64>() - 0.5)).collect();
         let ds = Dataset::from_rows(&rows, targets).unwrap();
         let model = Gbdt::fit(
             &ds,

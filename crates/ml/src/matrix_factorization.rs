@@ -82,9 +82,11 @@ impl MatrixFactorization {
             row_factors: (0..n_rows * k).map(|_| init(&mut rng)).collect(),
             col_factors: (0..n_cols * k).map(|_| init(&mut rng)).collect(),
             n_factors: k,
-            value_range: entries.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &(_, _, v)| {
-                (acc.0.min(v), acc.1.max(v))
-            }),
+            value_range: entries
+                .iter()
+                .fold((f64::INFINITY, f64::NEG_INFINITY), |acc, &(_, _, v)| {
+                    (acc.0.min(v), acc.1.max(v))
+                }),
         };
 
         let mut order: Vec<usize> = (0..entries.len()).collect();
@@ -113,9 +115,8 @@ impl MatrixFactorization {
 
     fn predict_raw(&self, row: usize, col: usize) -> f64 {
         let k = self.n_factors;
-        let dot: f64 = (0..k)
-            .map(|f| self.row_factors[row * k + f] * self.col_factors[col * k + f])
-            .sum();
+        let dot: f64 =
+            (0..k).map(|f| self.row_factors[row * k + f] * self.col_factors[col * k + f]).sum();
         self.global_mean + self.row_bias[row] + self.col_bias[col] + dot
     }
 
@@ -186,8 +187,7 @@ mod tests {
     fn rejects_bad_input() {
         assert!(MatrixFactorization::fit(2, 2, &[], &MfParams::default()).is_err());
         assert!(MatrixFactorization::fit(2, 2, &[(5, 0, 1.0)], &MfParams::default()).is_err());
-        assert!(MatrixFactorization::fit(2, 2, &[(0, 0, f64::NAN)], &MfParams::default())
-            .is_err());
+        assert!(MatrixFactorization::fit(2, 2, &[(0, 0, f64::NAN)], &MfParams::default()).is_err());
         assert!(MatrixFactorization::fit(
             2,
             2,

@@ -41,8 +41,7 @@ pub fn mae(y_true: &[f64], y_pred: &[f64]) -> f64 {
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> f64 {
     assert_eq!(y_true.len(), y_pred.len());
     assert!(!y_true.is_empty());
-    (y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>()
-        / y_true.len() as f64)
+    (y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / y_true.len() as f64)
         .sqrt()
 }
 

@@ -120,10 +120,7 @@ impl Scaler {
                 *s += (v - m).powi(2);
             }
         }
-        let std = var
-            .iter()
-            .map(|&s| (s / count.max(1) as f64).sqrt().max(1e-9))
-            .collect();
+        let std = var.iter().map(|&s| (s / count.max(1) as f64).sqrt().max(1e-9)).collect();
         Self { mean, std }
     }
 
@@ -153,7 +150,9 @@ impl Mlp {
             return Err(MlError::Shape("cannot fit MLP to zero rows".into()));
         }
         if params.batch_size == 0 || params.learning_rate <= 0.0 {
-            return Err(MlError::InvalidConfig("batch_size and learning_rate must be positive".into()));
+            return Err(MlError::InvalidConfig(
+                "batch_size and learning_rate must be positive".into(),
+            ));
         }
         let mut rng = StdRng::seed_from_u64(params.seed);
 
@@ -169,14 +168,7 @@ impl Mlp {
         sizes.push(1);
         let layers = sizes.windows(2).map(|w| Layer::new(w[0], w[1], &mut rng)).collect();
 
-        let mut model = Self {
-            layers,
-            x_scaler,
-            y_mean,
-            y_std,
-            adam_t: 0,
-            params: params.clone(),
-        };
+        let mut model = Self { layers, x_scaler, y_mean, y_std, adam_t: 0, params: params.clone() };
         model.train(ds, params.epochs, params.learning_rate, &mut rng);
         Ok(model)
     }
@@ -355,13 +347,14 @@ mod tests {
     #[test]
     fn fine_tuning_adapts_to_shifted_data() {
         let (ds, _) = make_data(400, 3);
-        let mut model =
-            Mlp::fit(&ds, &MlpParams { epochs: 100, ..MlpParams::default() }).unwrap();
+        let mut model = Mlp::fit(&ds, &MlpParams { epochs: 100, ..MlpParams::default() }).unwrap();
         // New regime: constant offset of +10.
         let shifted_targets: Vec<f64> = ds.targets().iter().map(|y| y + 10.0).collect();
-        let shifted =
-            Dataset::from_rows(&(0..ds.n_rows()).map(|i| ds.row(i).to_vec()).collect::<Vec<_>>(), shifted_targets.clone())
-                .unwrap();
+        let shifted = Dataset::from_rows(
+            &(0..ds.n_rows()).map(|i| ds.row(i).to_vec()).collect::<Vec<_>>(),
+            shifted_targets.clone(),
+        )
+        .unwrap();
         let before = r2(&shifted_targets, &model.predict(&shifted));
         model.fine_tune(&shifted, 100, 1e-3);
         let after = r2(&shifted_targets, &model.predict(&shifted));
@@ -394,8 +387,6 @@ mod tests {
     fn invalid_configs_rejected() {
         let (ds, _) = make_data(10, 5);
         assert!(Mlp::fit(&ds, &MlpParams { batch_size: 0, ..MlpParams::default() }).is_err());
-        assert!(
-            Mlp::fit(&ds, &MlpParams { learning_rate: 0.0, ..MlpParams::default() }).is_err()
-        );
+        assert!(Mlp::fit(&ds, &MlpParams { learning_rate: 0.0, ..MlpParams::default() }).is_err());
     }
 }

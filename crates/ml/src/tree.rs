@@ -100,11 +100,8 @@ impl DecisionTree {
         if params.min_samples_leaf == 0 {
             return Err(MlError::InvalidConfig("min_samples_leaf must be >= 1".into()));
         }
-        let mut tree = Self {
-            nodes: Vec::new(),
-            n_features: ds.n_cols(),
-            importance: vec![0.0; ds.n_cols()],
-        };
+        let mut tree =
+            Self { nodes: Vec::new(), n_features: ds.n_cols(), importance: vec![0.0; ds.n_cols()] };
         let indices: Vec<u32> = (0..ds.n_rows() as u32).collect();
         tree.build(ds, params, rng, indices, 0);
         // Normalize MDI to sum to 1 (when any split happened).
@@ -150,9 +147,8 @@ impl DecisionTree {
         // Reserve the split node; children are built next.
         self.nodes.push(Node::Leaf { value: stats.mean() });
 
-        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) = indices
-            .into_iter()
-            .partition(|&i| ds.value(i as usize, feature) <= threshold);
+        let (left_idx, right_idx): (Vec<u32>, Vec<u32>) =
+            indices.into_iter().partition(|&i| ds.value(i as usize, feature) <= threshold);
         let left = self.build(ds, params, rng, left_idx, depth + 1);
         let right = self.build(ds, params, rng, right_idx, depth + 1);
         self.nodes[node_id as usize] =
@@ -341,8 +337,8 @@ mod tests {
 
     #[test]
     fn constant_target_is_single_leaf() {
-        let ds = Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]], vec![4.0, 4.0, 4.0])
-            .unwrap();
+        let ds =
+            Dataset::from_rows(&[vec![1.0], vec![2.0], vec![3.0]], vec![4.0, 4.0, 4.0]).unwrap();
         let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
         assert_eq!(tree.num_nodes(), 1);
         assert_eq!(tree.predict_row(&[9.0]), 4.0);
@@ -369,8 +365,8 @@ mod tests {
     #[test]
     fn duplicate_feature_values_never_split_between_ties() {
         // All x identical → no split possible on x, falls back to leaf.
-        let ds = Dataset::from_rows(&[vec![5.0], vec![5.0], vec![5.0]], vec![1.0, 2.0, 3.0])
-            .unwrap();
+        let ds =
+            Dataset::from_rows(&[vec![5.0], vec![5.0], vec![5.0]], vec![1.0, 2.0, 3.0]).unwrap();
         let tree = DecisionTree::fit(&ds, &TreeParams::default(), &mut rng()).unwrap();
         assert_eq!(tree.num_nodes(), 1);
     }

@@ -4,17 +4,12 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use llmpilot_ml::{
-    mape, r2, weighted_mape, Dataset, DecisionTree, Gbdt, GbdtParams, TreeParams,
-};
+use llmpilot_ml::{mape, r2, weighted_mape, Dataset, DecisionTree, Gbdt, GbdtParams, TreeParams};
 
 /// Strategy: a small random regression problem.
 fn problem() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
-    prop::collection::vec(
-        (prop::collection::vec(-100.0f64..100.0, 3), -50.0f64..50.0),
-        5..60,
-    )
-    .prop_map(|rows| rows.into_iter().unzip())
+    prop::collection::vec((prop::collection::vec(-100.0f64..100.0, 3), -50.0f64..50.0), 5..60)
+        .prop_map(|rows| rows.into_iter().unzip())
 }
 
 proptest! {

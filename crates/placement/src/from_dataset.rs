@@ -5,9 +5,7 @@
 use llmpilot_core::dataset::CharacterizationDataset;
 use llmpilot_core::evaluate::true_u_max;
 use llmpilot_core::predictor::PerformancePredictor;
-use llmpilot_core::recommend::{
-    parse_profile, pods_needed, u_max, RecommendationRequest,
-};
+use llmpilot_core::recommend::{parse_profile, pods_needed, u_max, RecommendationRequest};
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::LlmSpec;
 
@@ -118,8 +116,7 @@ mod tests {
             constraints: LatencyConstraints::paper_defaults(),
             user_grid: (0..8).map(|i| 1u32 << i).collect(),
         };
-        let tenant =
-            tenant_from_measurements("svc", "Llama-2-7b", &ds, &profiles, &request);
+        let tenant = tenant_from_measurements("svc", "Llama-2-7b", &ds, &profiles, &request);
         // Only the H100 profile is viable: ceil(100/32) = 4 pods.
         assert_eq!(tenant.options.len(), 1);
         assert_eq!(tenant.options[0].profile, "1xH100-80GB");

@@ -64,11 +64,7 @@ impl GpuInventory {
 
     /// GPU types with at least one unit, in deterministic order.
     pub fn types(&self) -> Vec<&str> {
-        self.counts
-            .iter()
-            .filter(|&(_, &c)| c > 0)
-            .map(|(t, _)| t.as_str())
-            .collect()
+        self.counts.iter().filter(|&(_, &c)| c > 0).map(|(t, _)| t.as_str()).collect()
     }
 }
 

@@ -21,9 +21,7 @@ pub mod inventory;
 pub mod problem;
 pub mod solver;
 
-pub use from_dataset::{
-    profiles_in_dataset, tenant_from_measurements, tenant_from_predictions,
-};
+pub use from_dataset::{profiles_in_dataset, tenant_from_measurements, tenant_from_predictions};
 pub use inventory::GpuInventory;
 pub use problem::{DeploymentOption, Placement, PlacementProblem, Tenant};
 pub use solver::{solve_exact, solve_greedy};

@@ -123,7 +123,10 @@ mod tests {
         PlacementProblem {
             inventory: GpuInventory::from_counts([("A".into(), 4), ("B".into(), 2)]),
             tenants: vec![
-                Tenant { name: "svc1".into(), options: vec![option("A", 1, 2, 2.0), option("B", 1, 1, 5.0)] },
+                Tenant {
+                    name: "svc1".into(),
+                    options: vec![option("A", 1, 2, 2.0), option("B", 1, 1, 5.0)],
+                },
                 Tenant { name: "svc2".into(), options: vec![option("A", 2, 2, 4.0)] },
                 Tenant { name: "svc3".into(), options: vec![] },
             ],

@@ -52,8 +52,7 @@ pub fn solve_greedy(problem: &PlacementProblem) -> Placement {
             let current_option = &problem.tenants[i].options[current];
             inventory.give_back(&current_option.gpu_type, current_option.gpus_needed());
             let best = place_cheapest(i, &mut inventory).expect("current option still fits");
-            if problem.tenants[i].options[best].cost_per_hour
-                < current_option.cost_per_hour - 1e-9
+            if problem.tenants[i].options[best].cost_per_hour < current_option.cost_per_hour - 1e-9
             {
                 improved = true;
             }
@@ -177,10 +176,7 @@ mod tests {
         let problem = PlacementProblem {
             inventory: GpuInventory::from_counts([("A".into(), 10)]),
             tenants: (0..4)
-                .map(|i| Tenant {
-                    name: format!("svc{i}"),
-                    options: vec![option("A", 1, 2, 2.0)],
-                })
+                .map(|i| Tenant { name: format!("svc{i}"), options: vec![option("A", 1, 2, 2.0)] })
                 .collect(),
         };
         let placement = solve_greedy(&problem);
@@ -239,10 +235,7 @@ mod tests {
             let exact = solve_exact(&problem);
             assert!(greedy.is_feasible(&problem));
             assert!(exact.is_feasible(&problem));
-            assert!(
-                !greedy.beats(&exact, &problem),
-                "greedy beat exact: {greedy:?} vs {exact:?}"
-            );
+            assert!(!greedy.beats(&exact, &problem), "greedy beat exact: {greedy:?} vs {exact:?}");
         }
     }
 

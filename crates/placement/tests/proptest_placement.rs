@@ -9,9 +9,7 @@ use llmpilot_placement::{
 fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
     let gpu_types = ["A", "B", "C"];
     let inventory = prop::collection::vec(0u32..6, 3).prop_map(move |counts| {
-        GpuInventory::from_counts(
-            gpu_types.iter().zip(&counts).map(|(g, &c)| (g.to_string(), c)),
-        )
+        GpuInventory::from_counts(gpu_types.iter().zip(&counts).map(|(g, &c)| (g.to_string(), c)))
     });
     let option = (0usize..3, 1u32..3, 1u32..4, 1u32..20).prop_map(move |(g, per, pods, cost)| {
         DeploymentOption {
@@ -27,8 +25,7 @@ fn arb_problem() -> impl Strategy<Value = PlacementProblem> {
             .prop_map(|options| Tenant { name: "t".into(), options }),
         1..5,
     );
-    (inventory, tenants)
-        .prop_map(|(inventory, tenants)| PlacementProblem { inventory, tenants })
+    (inventory, tenants).prop_map(|(inventory, tenants)| PlacementProblem { inventory, tenants })
 }
 
 proptest! {

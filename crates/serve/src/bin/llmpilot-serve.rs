@@ -1,0 +1,103 @@
+//! `llmpilot-serve` — the online GPU-recommendation daemon.
+//!
+//! ```text
+//! llmpilot-serve --data perf.csv [--addr 127.0.0.1:8008] [--workers 4]
+//!                [--queue 128] [--cache 4096] [--watch-secs 2]
+//! ```
+//!
+//! Endpoints: `GET /recommend?model=NAME&users=N&ttft=MS&itl=MS`,
+//! `POST /reload`, `GET /metrics`, `GET /healthz`.
+
+use std::collections::HashMap;
+use std::process::exit;
+use std::time::Duration;
+
+use llmpilot_serve::{ServeConfig, Server};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: llmpilot-serve --data FILE [--addr HOST:PORT] [--workers N]\n       \
+         [--queue N] [--cache N] [--watch-secs S]"
+    );
+    exit(2)
+}
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        let Some(key) = args[i].strip_prefix("--") else {
+            eprintln!("unexpected argument {:?}", args[i]);
+            usage();
+        };
+        if i + 1 >= args.len() {
+            eprintln!("missing value for --{key}");
+            usage();
+        }
+        flags.insert(key.to_string(), args[i + 1].clone());
+        i += 2;
+    }
+    flags
+}
+
+fn numeric_flag<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+    check: impl Fn(&T) -> bool,
+    constraint: &str,
+) -> T {
+    match flags.get(key) {
+        None => default,
+        Some(raw) => match raw.parse::<T>() {
+            Ok(v) if check(&v) => v,
+            _ => {
+                eprintln!("--{key} must be {constraint}, got {raw:?}");
+                usage()
+            }
+        },
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flags = parse_flags(&args);
+    let Some(data) = flags.get("data") else {
+        eprintln!("missing required --data");
+        usage()
+    };
+
+    let mut config = ServeConfig::new(data);
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    config.workers = numeric_flag(&flags, "workers", config.workers, |&v| v >= 1, "at least 1");
+    config.queue_capacity =
+        numeric_flag(&flags, "queue", config.queue_capacity, |&v| v >= 1, "at least 1");
+    config.cache_capacity =
+        numeric_flag(&flags, "cache", config.cache_capacity, |_| true, "a non-negative count");
+    let watch_secs: f64 = numeric_flag(
+        &flags,
+        "watch-secs",
+        2.0,
+        |&v| v.is_finite() && v >= 0.0,
+        "a non-negative number of seconds",
+    );
+    config.watch_interval =
+        if watch_secs > 0.0 { Some(Duration::from_secs_f64(watch_secs)) } else { None };
+
+    eprintln!("loading dataset and training the initial model...");
+    let handle = Server::start(config).unwrap_or_else(|e| {
+        eprintln!("llmpilot-serve failed to start: {e}");
+        exit(1)
+    });
+    println!("llmpilot-serve listening on http://{}", handle.addr());
+    println!("  GET  /recommend?model=NAME&users=N&ttft=MS&itl=MS");
+    println!("  POST /reload");
+    println!("  GET  /metrics");
+    println!("  GET  /healthz");
+    // Serve until killed.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,113 @@
+//! A small LRU cache for recommendation responses.
+//!
+//! Keys include the dataset and model generations, so entries computed
+//! against a superseded model can never be served after a hot reload —
+//! they simply stop being hit and age out.
+//!
+//! The implementation is a `HashMap` plus a monotone access tick; on
+//! overflow the least-recently-used entry is found by a linear scan.
+//! Capacities here are a few thousand entries, so the scan is a handful
+//! of microseconds — far below the cost of the recommendation search a
+//! hit avoids — and the map stays a single allocation-friendly structure.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used map.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    map: HashMap<K, (V, u64)>,
+    capacity: usize,
+    tick: u64,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Create a cache holding at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> Self {
+        Self { map: HashMap::with_capacity(capacity.min(4096)), capacity, tick: 0 }
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.map.get_mut(key).map(|(v, t)| {
+            *t = tick;
+            v.clone()
+        })
+    }
+
+    /// Insert `key → value`, evicting the least-recently-used entry when
+    /// the cache is full.
+    pub fn put(&mut self, key: K, value: V) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.tick += 1;
+        if self.map.len() >= self.capacity && !self.map.contains_key(&key) {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (_, t))| *t).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+            }
+        }
+        self.map.insert(key, (value, self.tick));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hits_and_misses() {
+        let mut c: LruCache<u32, &'static str> = LruCache::new(2);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&1), None);
+        c.put(1, "a");
+        assert_eq!(c.get(&1), Some("a"));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        assert_eq!(c.get(&1), Some(10)); // refresh 1; 2 is now LRU
+        c.put(3, 30);
+        assert_eq!(c.get(&2), None);
+        assert_eq!(c.get(&1), Some(10));
+        assert_eq!(c.get(&3), Some(30));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_a_present_key_does_not_evict() {
+        let mut c: LruCache<u32, u32> = LruCache::new(2);
+        c.put(1, 10);
+        c.put(2, 20);
+        c.put(1, 11);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&1), Some(11));
+        assert_eq!(c.get(&2), Some(20));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let mut c: LruCache<u32, u32> = LruCache::new(0);
+        c.put(1, 10);
+        assert_eq!(c.get(&1), None);
+        assert!(c.is_empty());
+    }
+}

@@ -1,0 +1,528 @@
+//! The recommendation daemon: a multi-threaded TCP server wiring the
+//! dataset store, model registry, response cache and metrics behind the
+//! hand-rolled HTTP layer.
+//!
+//! Concurrency model: one acceptor thread pushes connections into a
+//! bounded queue (`std::sync::mpsc::sync_channel`); `workers` threads pop
+//! and drive connections (keep-alive aware). When the queue is full the
+//! acceptor answers `503` with `Retry-After` itself — admission control
+//! costs one small write, never a worker. An optional watcher thread
+//! polls the dataset file's mtime and retrains in the background on
+//! change. Shutdown drains: the acceptor stops, the queue's sender drops,
+//! workers finish their in-flight connections and exit, and every thread
+//! is joined.
+
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use llmpilot_core::{
+    online_predictor_config, CoreError, LatencyConstraints, PredictorConfig, RecommendationRequest,
+};
+
+use crate::cache::LruCache;
+use crate::http::{json_escape, parse_request, Limits, Request, Response};
+use crate::metrics::{Metrics, Route};
+use crate::registry::ModelRegistry;
+use crate::store::DatasetStore;
+
+/// Errors starting or running the daemon.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Dataset or training failure.
+    Core(CoreError),
+    /// Socket-level failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Core(e) => write!(f, "{e}"),
+            ServeError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<CoreError> for ServeError {
+    fn from(e: CoreError) -> Self {
+        ServeError::Core(e)
+    }
+}
+
+impl From<std::io::Error> for ServeError {
+    fn from(e: std::io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Characterization-dataset CSV to serve from (and hot-reload).
+    pub data_path: PathBuf,
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads handling connections.
+    pub workers: usize,
+    /// Bounded connection-queue capacity (admission control threshold).
+    pub queue_capacity: usize,
+    /// Response-cache capacity, entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Poll interval of the dataset-file watcher; `None` disables watching
+    /// (reloads then only happen via `POST /reload`).
+    pub watch_interval: Option<Duration>,
+    /// SLA used for the Eq.-(4) training weights.
+    pub train_constraints: LatencyConstraints,
+    /// Predictor configuration for (re)training.
+    pub predictor: PredictorConfig,
+    /// HTTP parser limits.
+    pub limits: Limits,
+    /// Per-connection read timeout (bounds idle keep-alive sessions).
+    pub read_timeout: Duration,
+    /// Maximum requests served on one keep-alive connection.
+    pub max_requests_per_connection: u32,
+}
+
+impl ServeConfig {
+    /// Sensible defaults for serving `data_path`.
+    pub fn new(data_path: impl Into<PathBuf>) -> Self {
+        Self {
+            data_path: data_path.into(),
+            addr: "127.0.0.1:8008".into(),
+            workers: 4,
+            queue_capacity: 128,
+            cache_capacity: 4096,
+            watch_interval: Some(Duration::from_secs(2)),
+            train_constraints: LatencyConstraints::paper_defaults(),
+            predictor: online_predictor_config(),
+            limits: Limits::default(),
+            read_timeout: Duration::from_secs(5),
+            max_requests_per_connection: 10_000,
+        }
+    }
+}
+
+/// The per-pod user counts `𝕌` the query path searches (paper defaults).
+fn default_user_grid() -> Vec<u32> {
+    (0..8).map(|i| 1u32 << i).collect()
+}
+
+type CacheKey = (String, u32, u64, u64, u64, u64);
+
+/// Shared state of the running daemon.
+struct Ctx {
+    store: DatasetStore,
+    registry: ModelRegistry,
+    metrics: Metrics,
+    cache: Mutex<LruCache<CacheKey, String>>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+/// Handle to a running daemon; dropping it does NOT stop the server —
+/// call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    ctx: Arc<Ctx>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves ephemeral ports).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The daemon's metric registry (for embedding tests/benchmarks).
+    pub fn metrics(&self) -> &Metrics {
+        &self.ctx.metrics
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// connections, join every thread.
+    pub fn shutdown(self) {
+        self.ctx.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept` with one throwaway
+        // connection; it checks the flag before queueing anything.
+        let _ = TcpStream::connect(self.addr);
+        for t in self.threads {
+            let _ = t.join();
+        }
+    }
+}
+
+/// The llmpilot-serve daemon.
+pub struct Server;
+
+impl Server {
+    /// Load the dataset, train the initial model (blocking), bind the
+    /// listener and spin up the acceptor/worker/watcher threads.
+    pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
+        let store = DatasetStore::open(&config.data_path)?;
+        let registry = ModelRegistry::new(config.train_constraints, config.predictor.clone());
+        let metrics = Metrics::new();
+
+        let (dataset, generation) = store.snapshot();
+        let model_generation = registry.train_and_swap(&dataset, generation)?;
+        metrics.set_dataset_generation(generation);
+        metrics.record_retrain(true, model_generation);
+
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+
+        let cache = Mutex::new(LruCache::new(config.cache_capacity));
+        let ctx = Arc::new(Ctx {
+            store,
+            registry,
+            metrics,
+            cache,
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+
+        let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(ctx.config.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let mut threads = Vec::new();
+        for i in 0..ctx.config.workers.max(1) {
+            let ctx = Arc::clone(&ctx);
+            let rx = Arc::clone(&rx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("llmpilot-worker-{i}"))
+                    .spawn(move || worker_loop(&ctx, &rx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        {
+            let ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("llmpilot-acceptor".into())
+                    .spawn(move || acceptor_loop(&ctx, &listener, tx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        if ctx.config.watch_interval.is_some() {
+            let ctx = Arc::clone(&ctx);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("llmpilot-watcher".into())
+                    .spawn(move || watcher_loop(&ctx))
+                    .map_err(ServeError::Io)?,
+            );
+        }
+
+        Ok(ServerHandle { addr, ctx, threads })
+    }
+}
+
+/// Accept connections and queue them; answer 503 when the queue is full.
+/// Owns the channel sender: when this returns, workers drain and exit.
+fn acceptor_loop(ctx: &Ctx, listener: &TcpListener, tx: SyncSender<TcpStream>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if ctx.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match tx.try_send(stream) {
+            Ok(()) => ctx.metrics.record_enqueued(),
+            Err(TrySendError::Full(mut stream)) => {
+                ctx.metrics.record_rejected();
+                ctx.metrics.record_response(503);
+                let resp =
+                    Response::json(503, "{\"error\":\"server overloaded, retry later\"}".into())
+                        .with_header("Retry-After", "1");
+                let _ = resp.write_to(&mut stream, false);
+            }
+            Err(TrySendError::Disconnected(_)) => return,
+        }
+    }
+}
+
+/// Pop connections off the queue and serve them until the sender drops.
+fn worker_loop(ctx: &Ctx, rx: &Mutex<Receiver<TcpStream>>) {
+    loop {
+        // Take the receiver lock only to pop; release before serving so
+        // other workers keep draining the queue.
+        let stream = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => return,
+        };
+        match stream {
+            Ok(stream) => {
+                ctx.metrics.record_dequeued();
+                handle_connection(ctx, stream);
+            }
+            Err(_) => return, // sender dropped: shutdown drain complete
+        }
+    }
+}
+
+/// Poll the dataset file's mtime; reload + retrain in the background on
+/// change. Errors (mid-write partial files, invalid data) leave the
+/// previous generation serving and are retried next tick.
+fn watcher_loop(ctx: &Ctx) {
+    let interval = ctx.config.watch_interval.unwrap_or(Duration::from_secs(2));
+    let tick = Duration::from_millis(50);
+    let mut elapsed = Duration::ZERO;
+    while !ctx.shutdown.load(Ordering::SeqCst) {
+        std::thread::sleep(tick);
+        elapsed += tick;
+        if elapsed < interval {
+            continue;
+        }
+        elapsed = Duration::ZERO;
+        if let Ok(outcome) = ctx.store.reload_if_modified() {
+            if outcome.changed {
+                ctx.metrics.record_reload(outcome.generation);
+                let (dataset, generation) = ctx.store.snapshot();
+                match ctx.registry.train_and_swap(&dataset, generation) {
+                    Ok(model_generation) => ctx.metrics.record_retrain(true, model_generation),
+                    Err(_) => ctx.metrics.record_retrain(false, 0),
+                }
+            }
+        }
+    }
+}
+
+/// Serve one (possibly keep-alive) connection.
+fn handle_connection(ctx: &Ctx, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut served: u32 = 0;
+    loop {
+        match parse_request(&mut reader, &ctx.config.limits) {
+            Ok(None) => return, // peer closed cleanly
+            Ok(Some(request)) => {
+                served += 1;
+                let started = Instant::now();
+                let response = route(ctx, &request);
+                ctx.metrics.record_response(response.status);
+                ctx.metrics.record_latency(started.elapsed());
+                let keep_alive = request.keep_alive()
+                    && served < ctx.config.max_requests_per_connection
+                    && !ctx.shutdown.load(Ordering::SeqCst);
+                if response.write_to(&mut writer, keep_alive).is_err() || !keep_alive {
+                    return;
+                }
+            }
+            Err(e) => {
+                let status = e.status();
+                if status != 0 {
+                    ctx.metrics.record_request(Route::Other);
+                    ctx.metrics.record_response(status);
+                    let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+                    let _ = Response::json(status, body).write_to(&mut writer, false);
+                }
+                return;
+            }
+        }
+    }
+}
+
+/// Dispatch one parsed request.
+fn route(ctx: &Ctx, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/recommend") => {
+            ctx.metrics.record_request(Route::Recommend);
+            handle_recommend(ctx, request)
+        }
+        ("POST", "/reload") => {
+            ctx.metrics.record_request(Route::Reload);
+            handle_reload(ctx)
+        }
+        ("GET", "/metrics") => {
+            ctx.metrics.record_request(Route::Metrics);
+            Response::text(200, ctx.metrics.render())
+        }
+        ("GET", "/healthz") => {
+            ctx.metrics.record_request(Route::Health);
+            let ready = ctx.registry.current().is_some();
+            Response::json(if ready { 200 } else { 503 }, format!("{{\"ready\":{ready}}}"))
+        }
+        ("GET" | "POST", _) => {
+            ctx.metrics.record_request(Route::Other);
+            Response::json(404, "{\"error\":\"no such endpoint\"}".into())
+        }
+        _ => {
+            ctx.metrics.record_request(Route::Other);
+            Response::json(405, "{\"error\":\"method not allowed\"}".into())
+        }
+    }
+}
+
+/// Parse a positive float query parameter.
+fn float_param(request: &Request, key: &str, default: f64) -> Result<f64, Response> {
+    match request.query_param(key) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+            _ => Err(Response::json(
+                400,
+                format!(
+                    "{{\"error\":\"{} must be a positive number, got {}\"}}",
+                    key,
+                    json_escape(raw)
+                ),
+            )),
+        },
+    }
+}
+
+/// `GET /recommend?model=NAME&users=N&ttft=MS&itl=MS`.
+fn handle_recommend(ctx: &Ctx, request: &Request) -> Response {
+    let Some(model_name) = request.query_param("model") else {
+        return Response::json(400, "{\"error\":\"missing required query param: model\"}".into());
+    };
+    let users = match request.query_param("users") {
+        None => 200u32,
+        Some(raw) => match raw.parse::<u32>() {
+            Ok(v) if (1..=10_000_000).contains(&v) => v,
+            _ => {
+                return Response::json(
+                    400,
+                    format!(
+                        "{{\"error\":\"users must be an integer in [1, 1e7], got {}\"}}",
+                        json_escape(raw)
+                    ),
+                )
+            }
+        },
+    };
+    let nttft_ms = match float_param(request, "ttft", 100.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    let itl_ms = match float_param(request, "itl", 50.0) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+
+    let Some(trained) = ctx.registry.current() else {
+        return Response::json(503, "{\"error\":\"model not trained yet\"}".into())
+            .with_header("Retry-After", "1");
+    };
+    let dataset_generation = ctx.store.generation();
+
+    let key: CacheKey = (
+        model_name.to_string(),
+        users,
+        (nttft_ms * 1e3) as u64, // microsecond resolution
+        (itl_ms * 1e3) as u64,
+        dataset_generation,
+        trained.model_generation,
+    );
+    if let Ok(mut cache) = ctx.cache.lock() {
+        if let Some(body) = cache.get(&key) {
+            ctx.metrics.record_cache(true);
+            return Response::json(200, body).with_header("X-Cache", "hit");
+        }
+    }
+    ctx.metrics.record_cache(false);
+
+    let req = RecommendationRequest {
+        total_users: users,
+        constraints: LatencyConstraints { nttft_s: nttft_ms / 1e3, itl_s: itl_ms / 1e3 },
+        user_grid: default_user_grid(),
+    };
+    match trained.serving.recommend(model_name, &req) {
+        Ok(rec) => {
+            let body = format!(
+                "{{\"llm\":\"{}\",\"profile\":\"{}\",\"pods\":{},\"u_max\":{},\
+                 \"cost_per_hour\":{:.4},\"dataset_generation\":{},\"model_generation\":{}}}",
+                json_escape(model_name),
+                json_escape(&rec.profile),
+                rec.pods,
+                rec.u_max,
+                rec.cost_per_hour,
+                dataset_generation,
+                trained.model_generation,
+            );
+            if let Ok(mut cache) = ctx.cache.lock() {
+                cache.put(key, body.clone());
+            }
+            Response::json(200, body).with_header("X-Cache", "miss")
+        }
+        Err(CoreError::Parse(msg)) => {
+            Response::json(400, format!("{{\"error\":\"{}\"}}", json_escape(&msg)))
+        }
+        Err(CoreError::NoFeasibleRecommendation) => Response::json(
+            404,
+            format!(
+                "{{\"error\":\"no GPU profile satisfies the requirements\",\
+                 \"dataset_generation\":{dataset_generation},\
+                 \"model_generation\":{}}}",
+                trained.model_generation
+            ),
+        ),
+        Err(e) => Response::json(500, format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()))),
+    }
+}
+
+/// `POST /reload`: force a dataset re-read; on change, retrain before
+/// responding (queries on other workers keep using the old model until
+/// the swap). Returns the generations now live.
+fn handle_reload(ctx: &Ctx) -> Response {
+    match ctx.store.reload() {
+        Ok(outcome) => {
+            if outcome.changed {
+                ctx.metrics.record_reload(outcome.generation);
+                let (dataset, generation) = ctx.store.snapshot();
+                match ctx.registry.train_and_swap(&dataset, generation) {
+                    Ok(model_generation) => {
+                        ctx.metrics.record_retrain(true, model_generation);
+                    }
+                    Err(e) => {
+                        ctx.metrics.record_retrain(false, 0);
+                        return Response::json(
+                            500,
+                            format!(
+                                "{{\"error\":\"retraining failed: {}\"}}",
+                                json_escape(&e.to_string())
+                            ),
+                        );
+                    }
+                }
+            }
+            let model_generation = ctx.registry.current().map_or(0, |m| m.model_generation);
+            Response::json(
+                200,
+                format!(
+                    "{{\"reloaded\":{},\"dataset_generation\":{},\"model_generation\":{}}}",
+                    outcome.changed, outcome.generation, model_generation
+                ),
+            )
+        }
+        Err(e) => Response::json(
+            400,
+            format!(
+                "{{\"error\":\"reload rejected, previous dataset still serving: {}\"}}",
+                json_escape(&e.to_string())
+            ),
+        ),
+    }
+}

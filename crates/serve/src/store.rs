@@ -1,0 +1,212 @@
+//! The hot-reloadable characterization-dataset store.
+//!
+//! The live dataset is held as an `Arc<CharacterizationDataset>` behind an
+//! `RwLock`; readers take the lock only long enough to clone the `Arc`, so
+//! a reload never blocks in-flight queries and a query never observes a
+//! half-written dataset. A reload parses and validates the *candidate*
+//! file entirely outside the lock — an invalid file leaves the previous
+//! generation serving.
+
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, RwLock};
+use std::time::SystemTime;
+
+use llmpilot_core::{CharacterizationDataset, CoreError};
+
+/// Outcome of a reload attempt.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadOutcome {
+    /// Whether the dataset content actually changed (generation bumped).
+    pub changed: bool,
+    /// The generation now serving.
+    pub generation: u64,
+}
+
+#[derive(Debug)]
+struct StoreState {
+    dataset: Arc<CharacterizationDataset>,
+    generation: u64,
+    mtime: Option<SystemTime>,
+}
+
+/// Thread-safe owner of the live characterization dataset.
+#[derive(Debug)]
+pub struct DatasetStore {
+    path: PathBuf,
+    state: RwLock<StoreState>,
+}
+
+impl DatasetStore {
+    /// Load, parse and validate the dataset at `path`. Fails (rather than
+    /// serving garbage) when the file is missing, malformed, or empty.
+    pub fn open(path: impl Into<PathBuf>) -> Result<Self, CoreError> {
+        let path = path.into();
+        let (dataset, mtime) = Self::read(&path)?;
+        Ok(Self {
+            path,
+            state: RwLock::new(StoreState { dataset: Arc::new(dataset), generation: 1, mtime }),
+        })
+    }
+
+    /// The file this store reloads from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    fn read(path: &Path) -> Result<(CharacterizationDataset, Option<SystemTime>), CoreError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CoreError::Io(format!("{}: {e}", path.display())))?;
+        let dataset = CharacterizationDataset::from_csv(&text)?;
+        dataset.validate()?;
+        if dataset.is_empty() {
+            return Err(CoreError::InsufficientData(format!(
+                "{}: dataset has no measurement rows",
+                path.display()
+            )));
+        }
+        let mtime = std::fs::metadata(path).and_then(|m| m.modified()).ok();
+        Ok((dataset, mtime))
+    }
+
+    /// The live dataset and its generation. Cheap: clones one `Arc` under
+    /// a momentary read lock.
+    pub fn snapshot(&self) -> (Arc<CharacterizationDataset>, u64) {
+        let state = self.state.read().expect("dataset store lock poisoned");
+        (Arc::clone(&state.dataset), state.generation)
+    }
+
+    /// The live generation number.
+    pub fn generation(&self) -> u64 {
+        self.state.read().expect("dataset store lock poisoned").generation
+    }
+
+    /// Re-read the backing file and atomically swap the dataset in if its
+    /// content changed. On any error the previous dataset keeps serving.
+    pub fn reload(&self) -> Result<ReloadOutcome, CoreError> {
+        let (candidate, mtime) = Self::read(&self.path)?;
+        let mut state = self.state.write().expect("dataset store lock poisoned");
+        state.mtime = mtime;
+        if *state.dataset == candidate {
+            return Ok(ReloadOutcome { changed: false, generation: state.generation });
+        }
+        state.dataset = Arc::new(candidate);
+        state.generation += 1;
+        Ok(ReloadOutcome { changed: true, generation: state.generation })
+    }
+
+    /// [`Self::reload`], but only if the file's mtime moved since the last
+    /// (re)load — the cheap polling check used by the file watcher.
+    pub fn reload_if_modified(&self) -> Result<ReloadOutcome, CoreError> {
+        let on_disk = std::fs::metadata(&self.path).and_then(|m| m.modified()).ok();
+        let (recorded, generation) = {
+            let state = self.state.read().expect("dataset store lock poisoned");
+            (state.mtime, state.generation)
+        };
+        if on_disk.is_some() && on_disk != recorded {
+            self.reload()
+        } else {
+            Ok(ReloadOutcome { changed: false, generation })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use llmpilot_core::PerfRow;
+
+    fn row(llm: &str, users: u32, itl_s: f64) -> PerfRow {
+        PerfRow {
+            llm: llm.into(),
+            profile: "1xA100-40GB".into(),
+            users,
+            ttft_s: 0.1,
+            nttft_s: 0.001,
+            itl_s,
+            throughput: 100.0,
+        }
+    }
+
+    fn write_csv(path: &Path, rows: Vec<PerfRow>) {
+        let ds = CharacterizationDataset { rows, ..Default::default() };
+        std::fs::write(path, ds.to_csv()).unwrap();
+    }
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("llmpilot-store-{tag}-{}.csv", std::process::id()))
+    }
+
+    #[test]
+    fn open_snapshot_and_reload() {
+        let path = temp_path("basic");
+        write_csv(&path, vec![row("Llama-2-7b", 1, 0.02)]);
+        let store = DatasetStore::open(&path).unwrap();
+        let (ds, generation) = store.snapshot();
+        assert_eq!(generation, 1);
+        assert_eq!(ds.len(), 1);
+
+        // Unchanged content: no generation bump.
+        let outcome = store.reload().unwrap();
+        assert_eq!(outcome, ReloadOutcome { changed: false, generation: 1 });
+
+        // Changed content: atomically swapped, generation bumped. The old
+        // snapshot Arc keeps the superseded dataset alive for its holders.
+        write_csv(&path, vec![row("Llama-2-7b", 1, 0.02), row("Llama-2-13b", 1, 0.03)]);
+        let outcome = store.reload().unwrap();
+        assert_eq!(outcome, ReloadOutcome { changed: true, generation: 2 });
+        assert_eq!(store.snapshot().0.len(), 2);
+        assert_eq!(ds.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn invalid_reload_keeps_previous_generation() {
+        let path = temp_path("invalid");
+        write_csv(&path, vec![row("Llama-2-7b", 1, 0.02)]);
+        let store = DatasetStore::open(&path).unwrap();
+
+        std::fs::write(&path, "llm,profile,users\ngarbage").unwrap();
+        assert!(store.reload().is_err());
+        let (ds, generation) = store.snapshot();
+        assert_eq!(generation, 1);
+        assert_eq!(ds.len(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn open_rejects_missing_empty_and_invalid_files() {
+        assert!(matches!(DatasetStore::open("/no/such/file.csv"), Err(CoreError::Io(_))));
+
+        let path = temp_path("empty");
+        std::fs::write(&path, "llm,profile,users,ttft_s,nttft_s,itl_s,throughput\n").unwrap();
+        assert!(matches!(DatasetStore::open(&path), Err(CoreError::InsufficientData(_))));
+
+        write_csv(&path, vec![row("not-a-catalog-llm", 1, 0.02)]);
+        assert!(matches!(DatasetStore::open(&path), Err(CoreError::Parse(_))));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn reload_if_modified_detects_mtime_changes() {
+        let path = temp_path("mtime");
+        write_csv(&path, vec![row("Llama-2-7b", 1, 0.02)]);
+        let store = DatasetStore::open(&path).unwrap();
+        assert!(!store.reload_if_modified().unwrap().changed);
+
+        // A rewrite within the filesystem's mtime resolution can be missed
+        // by a pure mtime check, so keep rewriting (each write refreshes
+        // the mtime) until the watcher-style check observes the change.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            write_csv(&path, vec![row("Llama-2-7b", 1, 0.02), row("Llama-2-7b", 2, 0.04)]);
+            let outcome = store.reload_if_modified().unwrap();
+            if outcome.changed {
+                assert_eq!(outcome.generation, 2);
+                break;
+            }
+            assert!(std::time::Instant::now() < deadline, "mtime change never observed");
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -123,8 +123,7 @@ impl Deployment {
 
     /// Build a fresh engine for one pod.
     fn make_engine(&self) -> Engine {
-        let perf =
-            PerfModel::new(self.llm.clone(), self.profile.clone(), self.perf_config.clone());
+        let perf = PerfModel::new(self.llm.clone(), self.profile.clone(), self.perf_config.clone());
         Engine::new(perf, self.max_batch_weight)
     }
 
@@ -191,8 +190,7 @@ impl Deployment {
                 let mut source = make_source(i);
                 let config = LoadTestConfig { duration_s, warmup_s: 0.0, concurrent_users: users };
                 let mut faults = plan.load_faults(&pod_site, duration_s);
-                run_load_test_faulty(&mut engine, &mem, &mut source, &config, &mut faults)
-                    .map(Some)
+                run_load_test_faulty(&mut engine, &mem, &mut source, &config, &mut faults).map(Some)
             })
             .collect();
         let per_pod: Vec<LoadMetrics> = results?.into_iter().flatten().collect();
@@ -281,9 +279,8 @@ mod tests {
     fn none_plan_cluster_is_bit_identical() {
         let d = Deployment::new(llama2_13b(), GpuProfile::new(a100_80(), 1), 3).unwrap();
         let plain = d.run_load_test(12, 60.0, source).unwrap();
-        let faulty = d
-            .run_load_test_faulty(12, 60.0, source, &FaultPlan::none(), "cluster/x")
-            .unwrap();
+        let faulty =
+            d.run_load_test_faulty(12, 60.0, source, &FaultPlan::none(), "cluster/x").unwrap();
         assert_eq!(faulty.failed_pods, 0);
         assert_eq!(plain.per_pod.len(), faulty.per_pod.len());
         assert_eq!(plain.total_throughput, faulty.total_throughput);
@@ -319,8 +316,7 @@ mod tests {
                 })
             })
             .find(|p| {
-                let down =
-                    (0..4).filter(|i| p.pod_fails(&format!("cluster/x/pod{i}"))).count();
+                let down = (0..4).filter(|i| p.pod_fails(&format!("cluster/x/pod{i}"))).count();
                 (1..=3).contains(&down)
             })
             .expect("some seed must down 1..=3 of 4 pods");

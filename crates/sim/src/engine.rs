@@ -99,7 +99,8 @@ struct RunningRequest {
 impl RunningRequest {
     /// KV-cache tokens currently held by this request.
     fn kv_tokens(&self) -> u64 {
-        u64::from(self.spec.batch_size) * (u64::from(self.spec.input_tokens) + u64::from(self.generated))
+        u64::from(self.spec.batch_size)
+            * (u64::from(self.spec.input_tokens) + u64::from(self.generated))
     }
 }
 
@@ -234,8 +235,7 @@ impl Engine {
         }
         let id = RequestId(self.next_id);
         self.next_id += 1;
-        self.queue
-            .push_back(QueuedRequest { id, spec, submitted_at: self.clock, generated: 0 });
+        self.queue.push_back(QueuedRequest { id, spec, submitted_at: self.clock, generated: 0 });
         Ok(id)
     }
 
@@ -319,11 +319,8 @@ impl Engine {
         let old_seqs: u32 = self.running.iter().map(|r| r.spec.batch_size).sum();
         let kv_tokens: u64 = self.running.iter().map(|r| r.kv_tokens()).sum::<u64>()
             + admitted.iter().map(|r| r.kv_tokens()).sum::<u64>();
-        let mut step_time = if old_seqs > 0 {
-            self.perf.decode_step_time(old_seqs, kv_tokens)
-        } else {
-            0.0
-        };
+        let mut step_time =
+            if old_seqs > 0 { self.perf.decode_step_time(old_seqs, kv_tokens) } else { 0.0 };
         // Prompt-processing cost of every admitted request (its sequences
         // prefill together; cost is linear in the number of sequences).
         // Recomputed (preempted) requests re-prefill their prompt plus the
@@ -393,11 +390,8 @@ mod tests {
     use crate::perf_model::{PerfModel, PerfModelConfig};
 
     fn engine(max_weight: u64) -> Engine {
-        let perf = PerfModel::new(
-            llama2_13b(),
-            GpuProfile::new(a100_80(), 1),
-            PerfModelConfig::default(),
-        );
+        let perf =
+            PerfModel::new(llama2_13b(), GpuProfile::new(a100_80(), 1), PerfModelConfig::default());
         Engine::new(perf, max_weight)
     }
 
@@ -503,10 +497,7 @@ mod tests {
         };
         let small = run(800);
         let large = run(32 * 400);
-        assert!(
-            large < small,
-            "large-weight latency {large} should beat small-weight {small}"
-        );
+        assert!(large < small, "large-weight latency {large} should beat small-weight {small}");
     }
 
     #[test]
@@ -584,11 +575,8 @@ mod paged_tests {
     use crate::perf_model::{PerfModel, PerfModelConfig};
 
     fn engine(max_weight: u64, policy: AdmissionPolicy) -> Engine {
-        let perf = PerfModel::new(
-            llama2_13b(),
-            GpuProfile::new(a100_80(), 1),
-            PerfModelConfig::default(),
-        );
+        let perf =
+            PerfModel::new(llama2_13b(), GpuProfile::new(a100_80(), 1), PerfModelConfig::default());
         Engine::new(perf, max_weight).with_policy(policy)
     }
 

@@ -76,13 +76,7 @@ impl FaultConfig {
     /// (deploy failure, tuning OOM, load-test crash) all fire with
     /// probability `p`.
     pub fn transient(seed: u64, p: f64) -> Self {
-        Self {
-            seed,
-            deploy_failure_prob: p,
-            tuning_oom_prob: p,
-            crash_prob: p,
-            ..Self::disabled()
-        }
+        Self { seed, deploy_failure_prob: p, tuning_oom_prob: p, crash_prob: p, ..Self::disabled() }
     }
 }
 
@@ -291,7 +285,13 @@ impl LoadFaults {
     /// No crash, no OOM, no step budget — the exact behaviour of a plain
     /// [`crate::load::run_load_test`].
     pub fn none() -> Self {
-        LoadFaults { crash_at: None, oom: None, max_steps: None, max_virtual_s: None, steps_used: 0 }
+        LoadFaults {
+            crash_at: None,
+            oom: None,
+            max_steps: None,
+            max_virtual_s: None,
+            steps_used: 0,
+        }
     }
 
     /// Check the fault state after one engine step at virtual time `clock`.
@@ -347,12 +347,7 @@ pub struct LatencyNoise {
 impl LatencyNoise {
     /// The inert noise source.
     pub fn none() -> Self {
-        LatencyNoise {
-            amplitude: 0.0,
-            straggler_prob: 0.0,
-            straggler_factor: 1.0,
-            rng: None,
-        }
+        LatencyNoise { amplitude: 0.0, straggler_prob: 0.0, straggler_factor: 1.0, rng: None }
     }
 
     /// Whether this source can ever perturb a step time.
@@ -447,10 +442,7 @@ mod tests {
         // Far below capacity: never.
         assert!(lf.check_step(1.0, 100, 10_000).is_ok());
         // Within 10% of capacity with prob 1: always.
-        assert!(matches!(
-            lf.check_step(2.0, 9_500, 10_000),
-            Err(SimError::OutOfMemory { .. })
-        ));
+        assert!(matches!(lf.check_step(2.0, 9_500, 10_000), Err(SimError::OutOfMemory { .. })));
     }
 
     #[test]
@@ -460,18 +452,13 @@ mod tests {
         for _ in 0..3 {
             assert!(lf.check_step(0.0, 0, 100).is_ok());
         }
-        assert!(matches!(
-            lf.check_step(0.0, 0, 100),
-            Err(SimError::BudgetExhausted { .. })
-        ));
+        assert!(matches!(lf.check_step(0.0, 0, 100), Err(SimError::BudgetExhausted { .. })));
     }
 
     #[test]
     fn latency_noise_stays_within_band() {
-        let plan = FaultPlan::new(FaultConfig {
-            latency_noise_amplitude: 0.2,
-            ..FaultConfig::disabled()
-        });
+        let plan =
+            FaultPlan::new(FaultConfig { latency_noise_amplitude: 0.2, ..FaultConfig::disabled() });
         let noise = plan.latency_noise("noise/x");
         for _ in 0..256 {
             let f = noise.factor();

@@ -442,30 +442,18 @@ mod tests {
             .collect();
         assert_eq!(
             no_tp,
-            vec![
-                "ibm/mpt-7b-instruct2",
-                "bigscience/mt0-xxl",
-                "Salesforce/codegen2-16B"
-            ]
+            vec!["ibm/mpt-7b-instruct2", "bigscience/mt0-xxl", "Salesforce/codegen2-16B"]
         );
     }
 
     #[test]
     fn flash_attention_models_match_paper() {
         // Rows with "−" on V100 in Table III: llama-2-7b/13b, neox, starcoder.
-        let flash: Vec<_> = llm_catalog()
-            .into_iter()
-            .filter(|m| m.uses_flash_attention)
-            .map(|m| m.name)
-            .collect();
+        let flash: Vec<_> =
+            llm_catalog().into_iter().filter(|m| m.uses_flash_attention).map(|m| m.name).collect();
         assert_eq!(
             flash,
-            vec![
-                "Llama-2-7b",
-                "Llama-2-13b",
-                "EleutherAI/gpt-neox-20b",
-                "bigcode/starcoder"
-            ]
+            vec!["Llama-2-7b", "Llama-2-13b", "EleutherAI/gpt-neox-20b", "bigcode/starcoder"]
         );
     }
 

@@ -281,11 +281,12 @@ mod tests {
     fn single_user_metrics_are_sane() {
         let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
         let mut src = FixedSource::constant(RequestSpec::new(500, 200));
-        let m = run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-            warmup_s: 0.0,
-            duration_s: 60.0,
-            concurrent_users: 1,
-        })
+        let m = run_load_test(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 60.0, concurrent_users: 1 },
+        )
         .unwrap();
         assert!(m.completed_requests > 0);
         assert!(m.ttft_median_s > 0.0);
@@ -307,11 +308,12 @@ mod tests {
             RequestSpec::new(900, 300),
             RequestSpec::new(150, 60),
         ]);
-        let m1 = run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-            warmup_s: 0.0,
-            duration_s: 120.0,
-            concurrent_users: 1,
-        })
+        let m1 = run_load_test(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 120.0, concurrent_users: 1 },
+        )
         .unwrap();
         assert!(
             m1.throughput_tokens_per_s > 20.0 && m1.throughput_tokens_per_s < 90.0,
@@ -333,11 +335,12 @@ mod tests {
         for users in [1u32, 4, 16, 64, 128] {
             let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
             let mut src = mk();
-            let m = run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-                duration_s: 120.0,
-                warmup_s: 0.0,
-                concurrent_users: users,
-            })
+            let m = run_load_test(
+                &mut e,
+                &mem,
+                &mut src,
+                &LoadTestConfig { duration_s: 120.0, warmup_s: 0.0, concurrent_users: users },
+            )
             .unwrap();
             tputs.push(m.throughput_tokens_per_s);
         }
@@ -356,11 +359,12 @@ mod tests {
         let run = |users| {
             let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
             let mut src = mk();
-            run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-                duration_s: 120.0,
-                warmup_s: 0.0,
-                concurrent_users: users,
-            })
+            run_load_test(
+                &mut e,
+                &mem,
+                &mut src,
+                &LoadTestConfig { duration_s: 120.0, warmup_s: 0.0, concurrent_users: users },
+            )
             .unwrap()
         };
         let low = run(1);
@@ -376,11 +380,12 @@ mod tests {
         let run = |users| {
             let (mut e, mem) = setup(crate::llm::llama2_7b(), t4(), 2);
             let mut src = FixedSource::constant(RequestSpec::new(500, 150));
-            run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-                duration_s: 120.0,
-                warmup_s: 0.0,
-                concurrent_users: users,
-            })
+            run_load_test(
+                &mut e,
+                &mem,
+                &mut src,
+                &LoadTestConfig { duration_s: 120.0, warmup_s: 0.0, concurrent_users: users },
+            )
             .unwrap()
         };
         let m8 = run(8);
@@ -404,11 +409,12 @@ mod tests {
     fn nttft_is_ttft_scaled_by_input() {
         let (mut e, mem) = setup(llama2_13b(), a100_80(), 1);
         let mut src = FixedSource::constant(RequestSpec::new(1000, 50));
-        let m = run_load_test(&mut e, &mem, &mut src, &LoadTestConfig {
-            warmup_s: 0.0,
-            duration_s: 30.0,
-            concurrent_users: 1,
-        })
+        let m = run_load_test(
+            &mut e,
+            &mem,
+            &mut src,
+            &LoadTestConfig { warmup_s: 0.0, duration_s: 30.0, concurrent_users: 1 },
+        )
         .unwrap();
         assert!((m.nttft_median_s - m.ttft_median_s / 1000.0).abs() < 1e-9);
     }
@@ -526,15 +532,14 @@ mod percentile_tests {
         let weight = tune_max_batch_weight(&mem).unwrap().max_batch_weight;
         let perf = PerfModel::new(llm, profile, PerfModelConfig::default());
         let mut engine = Engine::new(perf, weight);
-        let mut src = FixedSource::new(vec![
-            RequestSpec::new(200, 80),
-            RequestSpec::new(1500, 400),
-        ]);
-        let m = run_load_test(&mut engine, &mem, &mut src, &LoadTestConfig {
-            duration_s: 90.0,
-            warmup_s: 0.0,
-            concurrent_users: 32,
-        })
+        let mut src =
+            FixedSource::new(vec![RequestSpec::new(200, 80), RequestSpec::new(1500, 400)]);
+        let m = run_load_test(
+            &mut engine,
+            &mem,
+            &mut src,
+            &LoadTestConfig { duration_s: 90.0, warmup_s: 0.0, concurrent_users: 32 },
+        )
         .unwrap();
         assert!(m.ttft_p90_s >= m.ttft_median_s);
         assert!(m.ttft_p99_s >= m.ttft_p90_s);

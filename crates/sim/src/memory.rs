@@ -157,7 +157,8 @@ impl MemoryModel {
     /// `input_tokens`, in bytes. Non-flash models materialize the FP32
     /// attention matrix (`heads × n²`).
     pub fn prefill_workspace_bytes(&self, input_tokens: u32) -> f64 {
-        self.prefill_linear_bytes(u64::from(input_tokens)) + self.attention_matrix_bytes(input_tokens)
+        self.prefill_linear_bytes(u64::from(input_tokens))
+            + self.attention_matrix_bytes(input_tokens)
     }
 
     /// Peak memory the batch-weight tuner must budget for a corner-case
@@ -167,10 +168,7 @@ impl MemoryModel {
     /// activations of all prompts in flight and the largest single
     /// attention-matrix workspace, on top of the weights. Bytes.
     pub fn peak_tuning_batch_bytes(&self, batch: &[(u32, u32)]) -> f64 {
-        let kv_tokens: u64 = batch
-            .iter()
-            .map(|&(i, o)| u64::from(i) + u64::from(o))
-            .sum();
+        let kv_tokens: u64 = batch.iter().map(|&(i, o)| u64::from(i) + u64::from(o)).sum();
         let prompt_tokens: u64 = batch.iter().map(|&(i, _)| u64::from(i)).sum();
         let max_input = batch.iter().map(|&(i, _)| i).max().unwrap_or(0);
         self.llm.weight_bytes()
@@ -215,10 +213,7 @@ impl MemoryModel {
     /// `(input_tokens, output_tokens)` pairs: weights + full-lifetime KV of
     /// every request + the largest single prefill workspace, bytes.
     pub fn peak_batch_bytes(&self, batch: &[(u32, u32)]) -> f64 {
-        let kv_tokens: u64 = batch
-            .iter()
-            .map(|&(i, o)| u64::from(i) + u64::from(o))
-            .sum();
+        let kv_tokens: u64 = batch.iter().map(|&(i, o)| u64::from(i) + u64::from(o)).sum();
         let max_input = batch.iter().map(|&(i, _)| i).max().unwrap_or(0);
         self.llm.weight_bytes() + self.kv_bytes(kv_tokens) + self.prefill_workspace_bytes(max_input)
     }
@@ -433,7 +428,8 @@ mod tests {
             ("EleutherAI/gpt-neox-20b", "YYY xYY xY xxY ---"),
             ("bigcode/starcoder", "YYY YYY xY xxY ---"),
         ];
-        let known_deviation: [(&str, usize); 2] = [("google/flan-ul2", 10), ("google/flan-ul2", 13)];
+        let known_deviation: [(&str, usize); 2] =
+            [("google/flan-ul2", 10), ("google/flan-ul2", 13)];
         let profiles = paper_profiles();
         let mut mismatches = Vec::new();
         for (name, row) in &paper {
@@ -456,10 +452,7 @@ mod tests {
                 "unexpected Table III deviation: {name} profile #{j} paper={want} ours={got}"
             );
         }
-        assert!(
-            mismatches.len() <= known_deviation.len(),
-            "too many deviations: {mismatches:?}"
-        );
+        assert!(mismatches.len() <= known_deviation.len(), "too many deviations: {mismatches:?}");
     }
 
     #[test]

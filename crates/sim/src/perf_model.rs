@@ -127,9 +127,8 @@ impl PerfModel {
         let calls = layers * self.config.allreduce_calls_per_layer;
         let bytes_per_call =
             2.0 * (t - 1.0) / t * tokens * self.llm.hidden_size as f64 * self.llm.dtype.bytes();
-        let link = self.profile.gpu.interconnect_bandwidth_gbps()
-            * 1.0e9
-            * self.config.comm_efficiency;
+        let link =
+            self.profile.gpu.interconnect_bandwidth_gbps() * 1.0e9 * self.config.comm_efficiency;
         calls * (self.config.allreduce_latency_s + bytes_per_call / link)
     }
 
@@ -292,10 +291,7 @@ mod tests {
     #[test]
     fn empty_batch_costs_only_fixed_overhead() {
         let m = model(llama2_7b(), t4(), 1);
-        assert_eq!(
-            m.decode_step_time(0, 0),
-            PerfModelConfig::default().fixed_step_overhead_s
-        );
+        assert_eq!(m.decode_step_time(0, 0), PerfModelConfig::default().fixed_step_overhead_s);
     }
 
     #[test]

@@ -153,10 +153,7 @@ pub fn tune_max_batch_weight_faulty(
 ) -> Result<TuningOutcome, SimError> {
     if plan.tuning_ooms(site) {
         let bound = mem.max_batch_weight_bound();
-        return Err(SimError::OutOfMemory {
-            running_weight: bound,
-            max_batch_weight: bound,
-        });
+        return Err(SimError::OutOfMemory { running_weight: bound, max_batch_weight: bound });
     }
     tune_max_batch_weight(mem)
 }
@@ -202,10 +199,7 @@ mod tests {
     #[test]
     fn infeasible_deployment_fails_tuning() {
         let m = mem(flan_ul2(), t4(), 1);
-        assert!(matches!(
-            tune_max_batch_weight(&m),
-            Err(SimError::TuningFailed { .. })
-        ));
+        assert!(matches!(tune_max_batch_weight(&m), Err(SimError::TuningFailed { .. })));
     }
 
     #[test]
@@ -261,10 +255,7 @@ mod tests {
     fn injected_tuning_oom_is_transient() {
         use crate::fault::{FaultConfig, FaultPlan};
         let m = mem(llama2_13b(), a100_80(), 1);
-        let plan = FaultPlan::new(FaultConfig {
-            tuning_oom_prob: 1.0,
-            ..FaultConfig::disabled()
-        });
+        let plan = FaultPlan::new(FaultConfig { tuning_oom_prob: 1.0, ..FaultConfig::disabled() });
         assert!(matches!(
             tune_max_batch_weight_faulty(&m, &plan, "tune/x"),
             Err(SimError::OutOfMemory { .. })

@@ -138,7 +138,11 @@ impl fmt::Display for TraceSummary {
             self.output_token_range.0,
             self.output_token_range.1
         )?;
-        writeln!(f, "Batch sizes          {}-{}", self.batch_size_range.0, self.batch_size_range.1)?;
+        writeln!(
+            f,
+            "Batch sizes          {}-{}",
+            self.batch_size_range.0, self.batch_size_range.1
+        )?;
         write!(f, "Additional params    {}", self.additional_params)
     }
 }

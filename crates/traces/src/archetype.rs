@@ -103,11 +103,7 @@ impl Archetype {
         let z = standard_normal(rng);
 
         let input_tokens = clamp_round(
-            log_normal(
-                rng,
-                self.log_mu_input + self.size_coupling_input * z,
-                self.log_sigma_input,
-            ),
+            log_normal(rng, self.log_mu_input + self.size_coupling_input * z, self.log_sigma_input),
             1,
             MAX_INPUT_TOKENS,
         );
@@ -144,7 +140,8 @@ impl Archetype {
                 let k = self.top_k_choices[rng.random_range(0..self.top_k_choices.len())];
                 let (plo, phi) = self.top_p_range;
                 let p = plo + (phi - plo) * rng.random::<f64>();
-                let tp = if rng.random::<f64>() < 0.1 { 0.2 + 0.75 * rng.random::<f64>() } else { 1.0 };
+                let tp =
+                    if rng.random::<f64>() < 0.1 { 0.2 + 0.75 * rng.random::<f64>() } else { 1.0 };
                 (t, k, p, tp)
             }
             DecodingMethod::BeamSearch => (0.0, 0, 1.0, 1.0),

@@ -63,8 +63,7 @@ pub fn from_csv(text: &str) -> Result<TraceDataset, String> {
 
         let user_id: u32 = next().parse().map_err(|_| parse_err("user_id", fields[0]))?;
         let llm_id: u16 = next().parse().map_err(|_| parse_err("llm_id", fields[1]))?;
-        let timestamp_s: f64 =
-            next().parse().map_err(|_| parse_err("timestamp_s", fields[2]))?;
+        let timestamp_s: f64 = next().parse().map_err(|_| parse_err("timestamp_s", fields[2]))?;
 
         let mut values = Vec::with_capacity(params.len());
         for p in &params {

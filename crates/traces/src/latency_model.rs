@@ -138,10 +138,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(10);
         let expected = m.expected_latency(&p);
         let n = 20_000;
-        let mean_log_ratio: f64 = (0..n)
-            .map(|_| (m.sample_latency(&p, &mut rng) / expected).ln())
-            .sum::<f64>()
-            / n as f64;
+        let mean_log_ratio: f64 =
+            (0..n).map(|_| (m.sample_latency(&p, &mut rng) / expected).ln()).sum::<f64>()
+                / n as f64;
         assert!(mean_log_ratio.abs() < 0.01, "mean log ratio {mean_log_ratio}");
     }
 

@@ -10,16 +10,16 @@
 //! for the Sec. III-A importance study.
 
 pub mod analysis;
-pub mod csv;
 pub mod archetype;
+pub mod csv;
 pub mod dist;
 pub mod generator;
 pub mod latency_model;
 pub mod record;
 
-pub use csv::{csv_header, from_csv, to_csv};
 pub use analysis::{correlation_matrix, spearman, summarize, EmpiricalCdf, TraceSummary};
 pub use archetype::{default_archetypes, Archetype, RequestParams};
+pub use csv::{csv_header, from_csv, to_csv};
 pub use generator::{TraceGenerator, TraceGeneratorConfig, PAPER_HORIZON_S};
 pub use latency_model::LatencyModel;
 pub use record::{DecodingMethod, Param, TraceDataset, TraceRecord, NUM_AUX_PARAMS};

@@ -8,10 +8,38 @@
 
 /// Fixed vocabulary of the synthetic corpus.
 const VOCAB: &[&str] = &[
-    "the", "model", "server", "request", "token", "batch", "user", "latency", "memory", "cache",
-    "decode", "prompt", "stream", "output", "input", "sample", "search", "layer", "weight",
-    "tensor", "parallel", "cluster", "service", "deploy", "measure", "predict", "schedule",
-    "queue", "compute", "bandwidth", "profile", "throughput",
+    "the",
+    "model",
+    "server",
+    "request",
+    "token",
+    "batch",
+    "user",
+    "latency",
+    "memory",
+    "cache",
+    "decode",
+    "prompt",
+    "stream",
+    "output",
+    "input",
+    "sample",
+    "search",
+    "layer",
+    "weight",
+    "tensor",
+    "parallel",
+    "cluster",
+    "service",
+    "deploy",
+    "measure",
+    "predict",
+    "schedule",
+    "queue",
+    "compute",
+    "bandwidth",
+    "profile",
+    "throughput",
 ];
 
 /// Deterministic synthetic text corpus.

@@ -245,10 +245,7 @@ mod tests {
         let model = WorkloadModel::fit(&ds, &Param::core()).unwrap();
         let model_size = model.approx_size_bytes();
         let trace_size = ds.approx_storage_bytes();
-        assert!(
-            model_size * 5 < trace_size,
-            "model {model_size} B vs traces {trace_size} B"
-        );
+        assert!(model_size * 5 < trace_size, "model {model_size} B vs traces {trace_size} B");
     }
 
     #[test]
@@ -286,10 +283,7 @@ mod tests {
             Err(WorkloadError::EmptyTraces)
         ));
         let ds = traces(100);
-        assert!(matches!(
-            WorkloadModel::fit(&ds, &[]),
-            Err(WorkloadError::NoParameters)
-        ));
+        assert!(matches!(WorkloadModel::fit(&ds, &[]), Err(WorkloadError::NoParameters)));
     }
 
     #[test]

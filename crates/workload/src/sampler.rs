@@ -139,11 +139,8 @@ impl IndependentSampler {
 
     /// Draw one request with independently sampled parameters.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GeneratedRequest {
-        let values = self
-            .marginals
-            .iter()
-            .map(|(centers, table)| centers[table.sample(rng)])
-            .collect();
+        let values =
+            self.marginals.iter().map(|(centers, table)| centers[table.sample(rng)]).collect();
         GeneratedRequest::new(self.params.clone(), values)
     }
 }
@@ -257,10 +254,7 @@ mod tests {
         let rho_joint = draw(&mut |rng| joint.sample(rng), &mut rng);
         let rho_indep = draw(&mut |rng| indep.sample(rng), &mut rng);
         let rho_emp = spearman(&ds.column(Param::InputTokens), &ds.column(Param::OutputTokens));
-        assert!(
-            (rho_joint - rho_emp).abs() < 0.1,
-            "joint rho {rho_joint} vs empirical {rho_emp}"
-        );
+        assert!((rho_joint - rho_emp).abs() < 0.1, "joint rho {rho_joint} vs empirical {rho_emp}");
         assert!(rho_indep.abs() < 0.1, "independent rho {rho_indep}");
     }
 

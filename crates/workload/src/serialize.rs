@@ -80,13 +80,11 @@ impl WorkloadModel {
                 .next()
                 .and_then(|l| l.strip_prefix("param "))
                 .ok_or_else(|| parse("missing param line"))?;
-            let param =
-                Param::from_name(name).ok_or_else(|| parse("unknown parameter name"))?;
+            let param = Param::from_name(name).ok_or_else(|| parse("unknown parameter name"))?;
             let cuts = parse_f64_list(lines.next(), "cuts").map_err(WorkloadError::Parse)?;
-            let centers =
-                parse_f64_list(lines.next(), "centers").map_err(WorkloadError::Parse)?;
-            let spec = BinSpec::from_parts(cuts, centers)
-                .ok_or_else(|| parse("inconsistent bin spec"))?;
+            let centers = parse_f64_list(lines.next(), "centers").map_err(WorkloadError::Parse)?;
+            let spec =
+                BinSpec::from_parts(cuts, centers).ok_or_else(|| parse("inconsistent bin spec"))?;
             params.push(param);
             bins.push(spec);
         }
@@ -114,10 +112,8 @@ impl WorkloadModel {
                 }
                 keys.push(bin);
             }
-            let count: u64 = fields
-                .next()
-                .and_then(|s| s.parse().ok())
-                .ok_or_else(|| parse("bad count"))?;
+            let count: u64 =
+                fields.next().and_then(|s| s.parse().ok()).ok_or_else(|| parse("bad count"))?;
             if count == 0 || fields.next().is_some() {
                 return Err(parse("malformed entry line"));
             }
@@ -132,9 +128,7 @@ impl WorkloadModel {
 
 fn parse_f64_list(line: Option<&str>, prefix: &str) -> Result<Vec<f64>, String> {
     let line = line.ok_or_else(|| format!("missing {prefix} line"))?;
-    let rest = line
-        .strip_prefix(prefix)
-        .ok_or_else(|| format!("malformed {prefix} line"))?;
+    let rest = line.strip_prefix(prefix).ok_or_else(|| format!("malformed {prefix} line"))?;
     rest.split_ascii_whitespace()
         .map(|s| s.parse::<f64>().map_err(|_| format!("bad float in {prefix}: {s:?}")))
         .collect()

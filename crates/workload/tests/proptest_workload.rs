@@ -75,9 +75,8 @@ fn model_total_count_matches_traces_and_samples_hit_nonempty_bins() {
     assert_eq!(model.total_count(), 8_000);
 
     // Every sampled request equals the values of some non-empty bin.
-    let all_bins: std::collections::HashSet<String> = (0..model.num_nonempty_bins())
-        .map(|i| format!("{:?}", model.bin_values(i)))
-        .collect();
+    let all_bins: std::collections::HashSet<String> =
+        (0..model.num_nonempty_bins()).map(|i| format!("{:?}", model.bin_values(i))).collect();
     let sampler = WorkloadSampler::new(model);
     let mut rng = StdRng::seed_from_u64(6);
     for _ in 0..2_000 {

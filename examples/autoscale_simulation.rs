@@ -50,8 +50,7 @@ fn main() {
     );
     for headroom in [1.0f64, 1.25, 1.5, 2.0] {
         let config = AutoscalerConfig { headroom, max_pods: 64, ..AutoscalerConfig::default() };
-        let outcome =
-            simulate_autoscaler(&config, u_max, 86_400.0, &demand).expect("valid config");
+        let outcome = simulate_autoscaler(&config, u_max, 86_400.0, &demand).expect("valid config");
         println!(
             "{headroom:>9.2} {:>15.1}% {:>12.1} {:>11} {:>11} {:>12.2}",
             outcome.sla_attainment * 100.0,

@@ -33,13 +33,12 @@ fn main() {
         WorkloadModel::fit(&traces, &Param::core()).expect("non-empty traces"),
     );
     println!("measuring {} across all feasible GPU profiles...", llm.name);
-    let dataset =
-        characterize(
-            std::slice::from_ref(&llm),
-            &paper_profiles(),
-            &sampler,
-            &CharacterizeConfig::default(),
-        );
+    let dataset = characterize(
+        std::slice::from_ref(&llm),
+        &paper_profiles(),
+        &sampler,
+        &CharacterizeConfig::default(),
+    );
     println!("{} feasible profiles\n", dataset.tuned_weights.len());
 
     println!(
@@ -47,15 +46,10 @@ fn main() {
         "nTTFT[ms]", "ITL[ms]", "users", "best profile", "pods", "cost [$/h]"
     );
     for &users in &[50u32, 200] {
-        for &(nttft_ms, itl_ms) in
-            &[(50.0, 25.0), (100.0, 50.0), (200.0, 100.0), (1000.0, 500.0)]
-        {
+        for &(nttft_ms, itl_ms) in &[(50.0, 25.0), (100.0, 50.0), (200.0, 100.0), (1000.0, 500.0)] {
             let request = RecommendationRequest {
                 total_users: users,
-                constraints: LatencyConstraints {
-                    nttft_s: nttft_ms / 1e3,
-                    itl_s: itl_ms / 1e3,
-                },
+                constraints: LatencyConstraints { nttft_s: nttft_ms / 1e3, itl_s: itl_ms / 1e3 },
                 user_grid: (0..8).map(|i| 1u32 << i).collect(),
             };
             match oracle_recommendation(&dataset, llm.name, &paper_profiles(), &request) {

@@ -29,8 +29,7 @@ fn main() {
     );
     let llms = vec![flan_t5_xl(), flan_t5_xxl(), llama2_7b(), llama2_13b(), starcoder()];
     println!("characterizing {} services...", llms.len());
-    let dataset =
-        characterize(&llms, &paper_profiles(), &sampler, &CharacterizeConfig::default());
+    let dataset = characterize(&llms, &paper_profiles(), &sampler, &CharacterizeConfig::default());
 
     // The cluster's physical inventory.
     let inventory = GpuInventory::from_counts([

@@ -94,8 +94,7 @@ fn main() {
                 &sampler,
                 &CharacterizeConfig::default(),
             );
-            let true_cap =
-                true_u_max(&truth, unseen.name, &rec.profile, &request.constraints);
+            let true_cap = true_u_max(&truth, unseen.name, &rec.profile, &request.constraints);
             match true_cap {
                 Some(cap) if u64::from(rec.pods) * u64::from(cap) >= u64::from(users) => {
                     println!(
@@ -109,9 +108,7 @@ fn main() {
                 ),
                 None => println!("verification failed: constraints unmet even at 1 user"),
             }
-            if let Ok(oracle) =
-                oracle_recommendation(&truth, unseen.name, &candidates, &request)
-            {
+            if let Ok(oracle) = oracle_recommendation(&truth, unseen.name, &candidates, &request) {
                 println!(
                     "oracle (perfect knowledge): {} pods of {} at ${:.2}/h",
                     oracle.pods, oracle.profile, oracle.cost_per_hour

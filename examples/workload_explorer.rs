@@ -41,9 +41,7 @@ fn main() {
     let samples: Vec<_> = (0..n).map(|_| joint.sample(&mut rng)).collect();
     for p in [Param::InputTokens, Param::OutputTokens, Param::BatchSize] {
         let emp = EmpiricalCdf::new(traces.column(p));
-        let gen = EmpiricalCdf::new(
-            samples.iter().map(|s| s.get(p).expect("modeled")).collect(),
-        );
+        let gen = EmpiricalCdf::new(samples.iter().map(|s| s.get(p).expect("modeled")).collect());
         println!("{:<16} KS distance = {:.4}", p.name(), emp.ks_distance(&gen));
     }
 
@@ -58,8 +56,7 @@ fn main() {
         }
         spearman(&ins, &outs)
     };
-    let emp_rho =
-        spearman(&traces.column(Param::InputTokens), &traces.column(Param::OutputTokens));
+    let emp_rho = spearman(&traces.column(Param::InputTokens), &traces.column(Param::OutputTokens));
     println!("rho(input, output): empirical {:.3}", emp_rho);
     println!("rho(input, output): joint sampler {:.3}", draw("joint", &mut rng));
     println!("rho(input, output): independent sampler {:.3}", draw("independent", &mut rng));

@@ -8,6 +8,8 @@
 //! llm-pilot characterize --out data.csv [--duration 120] [--llm NAME]
 //! llm-pilot recommend   --data data.csv --llm NAME [--users 200]
 //!                       [--nttft-ms 100] [--itl-ms 50]
+//! llm-pilot serve       --data data.csv [--addr 127.0.0.1:8008] [--workers 4]
+//!                       [--queue 128] [--cache 4096] [--watch-secs 2]
 //! ```
 
 use std::collections::HashMap;
@@ -18,9 +20,7 @@ use rand::SeedableRng;
 
 use llm_pilot::core::baselines::{LlmPilotMethod, Method, MethodInput};
 use llm_pilot::core::recommend::{LatencyConstraints, RecommendationRequest};
-use llm_pilot::core::{
-    CharacterizationDataset, CharacterizeConfig, SweepDriver, SweepOptions,
-};
+use llm_pilot::core::{CharacterizationDataset, CharacterizeConfig, SweepDriver, SweepOptions};
 use llm_pilot::sim::fault::{FaultConfig, FaultPlan};
 use llm_pilot::sim::gpu::paper_profiles;
 use llm_pilot::sim::llm::{llm_by_name, llm_catalog};
@@ -36,7 +36,9 @@ fn usage() -> ! {
          llm-pilot feasibility\n  \
          llm-pilot characterize --out FILE [--duration SECS] [--llm NAME]\n      \
              [--journal FILE] [--retries N] [--fault-prob P] [--fault-seed S] [--max-steps N]\n  \
-         llm-pilot recommend --data FILE --llm NAME [--users N] [--nttft-ms MS] [--itl-ms MS]"
+         llm-pilot recommend --data FILE --llm NAME [--users N] [--nttft-ms MS] [--itl-ms MS]\n  \
+         llm-pilot serve --data FILE [--addr HOST:PORT] [--workers N] [--queue N]\n      \
+             [--cache N] [--watch-secs S]"
     );
     exit(2)
 }
@@ -84,6 +86,26 @@ fn required(flags: &HashMap<String, String>, key: &str) -> String {
         eprintln!("missing required --{key}");
         usage()
     })
+}
+
+/// Parse `--key`, apply `check`, and exit with a clear message naming the
+/// violated `constraint` instead of propagating nonsense into the sweep.
+fn checked_flag<T: std::str::FromStr + Copy>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+    check: impl Fn(T) -> bool,
+    constraint: &str,
+) -> T {
+    let value = flag(flags, key, default);
+    if !check(value) {
+        eprintln!(
+            "--{key} must be {constraint}, got {:?}",
+            flags.get(key).map(String::as_str).unwrap_or("<default>")
+        );
+        exit(2)
+    }
+    value
 }
 
 fn cmd_traces(flags: &HashMap<String, String>) {
@@ -176,7 +198,13 @@ fn build_sampler(seed: u64) -> WorkloadSampler {
 
 fn cmd_characterize(flags: &HashMap<String, String>) {
     let out = required(flags, "out");
-    let duration: f64 = flag(flags, "duration", 120.0);
+    let duration: f64 = checked_flag(
+        flags,
+        "duration",
+        120.0,
+        |v: f64| v.is_finite() && v > 0.0,
+        "a positive number of seconds",
+    );
     let sampler = build_sampler(flag(flags, "seed", 0xC0FFEE));
     let llms = match flags.get("llm") {
         Some(name) => vec![llm_by_name(name).unwrap_or_else(|| {
@@ -187,22 +215,26 @@ fn cmd_characterize(flags: &HashMap<String, String>) {
     };
     let config = CharacterizeConfig { duration_s: duration, ..CharacterizeConfig::default() };
 
-    let fault_prob: f64 = flag(flags, "fault-prob", 0.0);
+    let fault_prob: f64 = checked_flag(
+        flags,
+        "fault-prob",
+        0.0,
+        |v: f64| (0.0..=1.0).contains(&v),
+        "a probability in [0, 1]",
+    );
     let plan = if fault_prob > 0.0 {
         FaultPlan::new(FaultConfig::transient(flag(flags, "fault-seed", 1), fault_prob))
     } else {
         FaultPlan::none()
     };
+    let max_steps = flags
+        .get("max-steps")
+        .map(|_| checked_flag(flags, "max-steps", 1u64, |v| v >= 1, "a nonzero step budget"));
     let options = SweepOptions {
         plan,
-        max_attempts: flag(flags, "retries", 3u32).max(1),
+        max_attempts: checked_flag(flags, "retries", 3u32, |v| v >= 1, "a nonzero retry budget"),
         journal_path: flags.get("journal").map(std::path::PathBuf::from),
-        max_steps_per_cell: flags.get("max-steps").map(|s| {
-            s.parse().unwrap_or_else(|_| {
-                eprintln!("bad value for --max-steps: {s:?}");
-                usage()
-            })
-        }),
+        max_steps_per_cell: max_steps,
         ..SweepOptions::default()
     };
     let profiles = paper_profiles();
@@ -270,6 +302,38 @@ fn cmd_recommend(flags: &HashMap<String, String>) {
     }
 }
 
+fn cmd_serve(flags: &HashMap<String, String>) {
+    let data = required(flags, "data");
+    let mut config = llm_pilot::serve::ServeConfig::new(&data);
+    if let Some(addr) = flags.get("addr") {
+        config.addr = addr.clone();
+    }
+    config.workers = checked_flag(flags, "workers", config.workers, |v| v >= 1, "at least 1");
+    config.queue_capacity =
+        checked_flag(flags, "queue", config.queue_capacity, |v| v >= 1, "at least 1");
+    config.cache_capacity =
+        checked_flag(flags, "cache", config.cache_capacity, |_| true, "a non-negative count");
+    let watch_secs: f64 = checked_flag(
+        flags,
+        "watch-secs",
+        2.0,
+        |v: f64| v.is_finite() && v >= 0.0,
+        "a non-negative number of seconds",
+    );
+    config.watch_interval =
+        (watch_secs > 0.0).then(|| std::time::Duration::from_secs_f64(watch_secs));
+
+    eprintln!("loading {data} and training the initial model...");
+    let handle = llm_pilot::serve::Server::start(config).unwrap_or_else(|e| {
+        eprintln!("serve failed to start: {e}");
+        exit(1)
+    });
+    println!("llm-pilot serving recommendations on http://{}", handle.addr());
+    loop {
+        std::thread::park();
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else { usage() };
@@ -280,6 +344,7 @@ fn main() {
         "feasibility" => cmd_feasibility(),
         "characterize" => cmd_characterize(&flags),
         "recommend" => cmd_recommend(&flags),
+        "serve" => cmd_serve(&flags),
         _ => usage(),
     }
 }

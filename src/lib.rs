@@ -9,6 +9,7 @@
 //! * [`workload`] — the binned joint-histogram workload generator.
 //! * [`ml`] — the from-scratch ML substrate (trees, GBDT, MLP, MF, CV).
 //! * [`core`] — the characterization pipeline and GPU recommendation tool.
+//! * [`serve`] — the online GPU-recommendation daemon (llmpilot-serve).
 //!
 //! See `examples/` for runnable end-to-end scenarios and
 //! `crates/bench/src/bin/experiments.rs` for the paper's tables/figures.
@@ -16,6 +17,7 @@
 pub use llmpilot_core as core;
 pub use llmpilot_ml as ml;
 pub use llmpilot_placement as placement;
+pub use llmpilot_serve as serve;
 pub use llmpilot_sim as sim;
 pub use llmpilot_traces as traces;
 pub use llmpilot_workload as workload;

@@ -28,11 +28,8 @@ fn small_config() -> CharacterizeConfig {
 
 fn small_grid() -> CharacterizationDataset {
     let llms = vec![flan_t5_xl(), llama2_7b(), llama2_13b(), flan_ul2()];
-    let profiles = vec![
-        GpuProfile::new(t4(), 1),
-        GpuProfile::new(a100_40(), 1),
-        GpuProfile::new(h100(), 2),
-    ];
+    let profiles =
+        vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1), GpuProfile::new(h100(), 2)];
     characterize(&llms, &profiles, &sampler(), &small_config())
 }
 
@@ -40,17 +37,13 @@ fn small_grid() -> CharacterizationDataset {
 fn characterization_covers_exactly_the_feasible_cells() {
     let ds = small_grid();
     let llms = vec![flan_t5_xl(), llama2_7b(), llama2_13b(), flan_ul2()];
-    let profiles = vec![
-        GpuProfile::new(t4(), 1),
-        GpuProfile::new(a100_40(), 1),
-        GpuProfile::new(h100(), 2),
-    ];
+    let profiles =
+        vec![GpuProfile::new(t4(), 1), GpuProfile::new(a100_40(), 1), GpuProfile::new(h100(), 2)];
     for llm in &llms {
         for profile in &profiles {
-            let feasible =
-                MemoryModel::new(llm.clone(), profile.clone(), MemoryConfig::default())
-                    .feasibility()
-                    .is_feasible();
+            let feasible = MemoryModel::new(llm.clone(), profile.clone(), MemoryConfig::default())
+                .feasibility()
+                .is_feasible();
             assert_eq!(
                 ds.cell_feasible(llm.name, &profile.name()),
                 feasible,
@@ -98,11 +91,8 @@ fn latency_degrades_and_throughput_grows_with_load() {
     let ds = small_grid();
     for llm in ds.llms() {
         for profile in ds.profiles() {
-            let rows: Vec<_> = ds
-                .rows
-                .iter()
-                .filter(|r| r.llm == llm && r.profile == profile)
-                .collect();
+            let rows: Vec<_> =
+                ds.rows.iter().filter(|r| r.llm == llm && r.profile == profile).collect();
             if rows.len() < 3 {
                 continue;
             }
@@ -114,10 +104,7 @@ fn latency_degrades_and_throughput_grows_with_load() {
                 first.ttft_s,
                 last.ttft_s
             );
-            assert!(
-                last.throughput > first.throughput,
-                "{llm} on {profile}: no throughput gain"
-            );
+            assert!(last.throughput > first.throughput, "{llm} on {profile}: no throughput gain");
         }
     }
 }

@@ -30,8 +30,7 @@ fn dataset() -> CharacterizationDataset {
     })
     .generate();
     let sampler = WorkloadSampler::new(WorkloadModel::fit(&traces, &Param::core()).unwrap());
-    let llms =
-        vec![flan_t5_xl(), flan_t5_xxl(), llama2_7b(), llama2_13b(), starcoder()];
+    let llms = vec![flan_t5_xl(), flan_t5_xxl(), llama2_7b(), llama2_13b(), starcoder()];
     characterize(
         &llms,
         &profiles(),
@@ -92,8 +91,7 @@ fn oracle_is_optimal_among_true_deployments() {
         // …and no other profile can beat its cost using true capacities.
         for p in profiles() {
             if let Some(c) = true_u_max(&ds, &llm, &p.name(), &request.constraints) {
-                let cost =
-                    f64::from(request.total_users.div_ceil(c)) * p.cost_per_hour();
+                let cost = f64::from(request.total_users.div_ceil(c)) * p.cost_per_hour();
                 assert!(
                     cost >= oracle.cost_per_hour - 1e-9,
                     "{llm}: {} at {cost} beats oracle {}",
@@ -150,9 +148,7 @@ fn reference_rows_are_only_reference_profiles() {
     let refs: Vec<_> = ds
         .rows_for_llm("Llama-2-13b")
         .into_iter()
-        .filter(|r| {
-            llm_pilot::core::baselines::REFERENCE_PROFILES.contains(&r.profile.as_str())
-        })
+        .filter(|r| llm_pilot::core::baselines::REFERENCE_PROFILES.contains(&r.profile.as_str()))
         .collect();
     assert!(refs.is_empty());
     let eval = Evaluation::new(&ds, profiles());

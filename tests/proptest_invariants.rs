@@ -12,11 +12,8 @@ use llm_pilot::sim::perf_model::{PerfModel, PerfModelConfig};
 use llm_pilot::sim::request::RequestSpec;
 
 fn engine() -> Engine {
-    let perf = PerfModel::new(
-        llama2_13b(),
-        GpuProfile::new(a100_80(), 1),
-        PerfModelConfig::default(),
-    );
+    let perf =
+        PerfModel::new(llama2_13b(), GpuProfile::new(a100_80(), 1), PerfModelConfig::default());
     Engine::new(perf, 100_000)
 }
 

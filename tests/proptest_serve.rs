@@ -1,0 +1,188 @@
+//! Property tests of the hand-rolled HTTP request parser in
+//! `llmpilot-serve`: whatever bytes arrive — arbitrary garbage, truncated
+//! requests, oversized lines — the parser must never panic, must respect
+//! its configured [`Limits`], and must round-trip well-formed requests.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use llm_pilot::serve::http::percent_decode;
+use llm_pilot::serve::{parse_request, Limits, ParseError, Request};
+
+fn parse(bytes: &[u8], limits: &Limits) -> Result<Option<Request>, ParseError> {
+    parse_request(&mut Cursor::new(bytes.to_vec()), limits)
+}
+
+fn small_limits() -> Limits {
+    Limits { max_line_bytes: 256, max_headers: 8, max_body_bytes: 512 }
+}
+
+/// Serialize a structured request description into raw HTTP/1.1 bytes.
+fn render_request(
+    method: &str,
+    segments: &[String],
+    params: &[(String, String)],
+    headers: &[(String, String)],
+    body: &[u8],
+) -> Vec<u8> {
+    let mut target = String::new();
+    for s in segments {
+        target.push('/');
+        target.push_str(s);
+    }
+    if target.is_empty() {
+        target.push('/');
+    }
+    if !params.is_empty() {
+        target.push('?');
+        let encoded: Vec<String> = params.iter().map(|(k, v)| format!("{k}={v}")).collect();
+        target.push_str(&encoded.join("&"));
+    }
+    let mut out = format!("{method} {target} HTTP/1.1\r\n").into_bytes();
+    for (name, value) in headers {
+        out.extend_from_slice(format!("{name}: {value}\r\n").as_bytes());
+    }
+    if !body.is_empty() {
+        out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+/// URL-safe token characters for generated path segments and query keys.
+fn token_chars() -> Vec<char> {
+    "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_.~".chars().collect()
+}
+
+fn token(len: std::ops::Range<usize>) -> impl Strategy<Value = String> {
+    prop::collection::vec(prop::sample::select(token_chars()), len)
+        .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the parser, and anything it does accept
+    /// stays within the configured limits.
+    #[test]
+    fn arbitrary_bytes_never_panic_and_respect_limits(
+        bytes in prop::collection::vec(0u8..=255u8, 0..2048)
+    ) {
+        let limits = small_limits();
+        match parse(&bytes, &limits) {
+            Ok(None) => prop_assert!(bytes.is_empty() || bytes.iter().all(|&b| b != b'\n')),
+            Ok(Some(req)) => {
+                prop_assert!(!req.method.is_empty());
+                prop_assert!(req.method.len() <= limits.max_line_bytes);
+                prop_assert!(req.path.starts_with('/'));
+                prop_assert!(req.path.len() <= limits.max_line_bytes);
+                prop_assert!(req.headers.len() <= limits.max_headers);
+                prop_assert!(req.body.len() <= limits.max_body_bytes);
+            }
+            Err(e) => {
+                // Every error maps to a defined close-or-respond action.
+                let status = e.status();
+                prop_assert!(
+                    status == 0 || (400..=599).contains(&status),
+                    "unexpected status {status} for {e:?}"
+                );
+            }
+        }
+    }
+
+    /// Well-formed requests round-trip: method, path, query parameters
+    /// (including percent escapes) and body all survive parsing.
+    #[test]
+    fn well_formed_requests_round_trip(
+        method in prop::sample::select(vec!["GET", "POST", "PUT", "DELETE"]),
+        segments in prop::collection::vec(token(1..12), 0..4),
+        params in prop::collection::vec((token(1..8), token(0..12)), 0..5),
+        body in prop::collection::vec(0u8..=255u8, 0..128)
+    ) {
+        let bytes = render_request(
+            method,
+            &segments,
+            &params,
+            &[("Host".into(), "llmpilot".into())],
+            &body,
+        );
+        let req = parse(&bytes, &Limits::default())
+            .expect("well-formed request must parse")
+            .expect("well-formed request is not EOF");
+        prop_assert_eq!(&req.method, method);
+        let expected_path = if segments.is_empty() {
+            "/".to_string()
+        } else {
+            segments.iter().map(|s| format!("/{s}")).collect()
+        };
+        prop_assert_eq!(&req.path, &expected_path);
+        prop_assert_eq!(req.query.len(), params.len());
+        for ((k, v), (pk, pv)) in params.iter().zip(&req.query) {
+            // Token characters are their own percent-decoding.
+            prop_assert_eq!(&percent_decode(k), pk);
+            prop_assert_eq!(&percent_decode(v), pv);
+        }
+        prop_assert_eq!(&req.body, &body);
+        prop_assert_eq!(req.header("host"), Some("llmpilot"));
+    }
+
+    /// Any strict prefix of a valid request is rejected as an error (or,
+    /// for the empty prefix, reported as clean EOF) — never misparsed as
+    /// a complete request.
+    #[test]
+    fn prefixes_of_valid_requests_never_parse(
+        segments in prop::collection::vec(token(1..10), 0..3),
+        params in prop::collection::vec((token(1..6), token(0..8)), 0..3),
+        body in prop::collection::vec(0u8..=255u8, 0..64),
+        cut_frac in 0.0f64..1.0
+    ) {
+        let bytes = render_request("GET", &segments, &params, &[], &body);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        prop_assume!(cut < bytes.len()); // strict prefix only
+        let limits = Limits::default();
+        match parse(&bytes[..cut], &limits) {
+            Ok(None) => prop_assert_eq!(cut, 0, "only the empty prefix is clean EOF"),
+            Ok(Some(req)) => prop_assert!(
+                false,
+                "prefix of length {cut}/{} parsed as {req:?}",
+                bytes.len()
+            ),
+            Err(_) => {}
+        }
+        // The uncut request still parses, so the generator is honest.
+        prop_assert!(parse(&bytes, &limits).unwrap().is_some());
+    }
+
+    /// Oversized inputs are refused with the right `TooLarge` class, never
+    /// buffered wholesale.
+    #[test]
+    fn oversized_inputs_are_rejected(
+        extra in 1usize..4096,
+        declared_body in 513usize..1_000_000
+    ) {
+        let limits = small_limits();
+
+        let long_target = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(limits.max_line_bytes + extra));
+        prop_assert_eq!(
+            parse(long_target.as_bytes(), &limits),
+            Err(ParseError::TooLarge("request line or header"))
+        );
+
+        let big_body =
+            format!("POST /reload HTTP/1.1\r\nContent-Length: {declared_body}\r\n\r\n");
+        prop_assert_eq!(
+            parse(big_body.as_bytes(), &limits),
+            Err(ParseError::TooLarge("body"))
+        );
+
+        let mut many_headers = String::from("GET / HTTP/1.1\r\n");
+        for i in 0..=limits.max_headers {
+            many_headers.push_str(&format!("x-h{i}: v\r\n"));
+        }
+        many_headers.push_str("\r\n");
+        prop_assert_eq!(
+            parse(many_headers.as_bytes(), &limits),
+            Err(ParseError::TooLarge("header count"))
+        );
+    }
+}

@@ -41,11 +41,7 @@ fn sampler() -> &'static WorkloadSampler {
 }
 
 fn quick_config() -> CharacterizeConfig {
-    CharacterizeConfig {
-        duration_s: 8.0,
-        user_sweep: vec![1, 4],
-        ..CharacterizeConfig::default()
-    }
+    CharacterizeConfig { duration_s: 8.0, user_sweep: vec![1, 4], ..CharacterizeConfig::default() }
 }
 
 fn grid() -> (Vec<LlmSpec>, Vec<GpuProfile>) {
@@ -73,10 +69,7 @@ fn clean_dataset() -> &'static CharacterizationDataset {
 fn scratch_journal() -> std::path::PathBuf {
     static COUNTER: AtomicU64 = AtomicU64::new(0);
     let n = COUNTER.fetch_add(1, Ordering::SeqCst);
-    std::env::temp_dir().join(format!(
-        "llmpilot-proptest-sweep-{}-{n}.csv",
-        std::process::id()
-    ))
+    std::env::temp_dir().join(format!("llmpilot-proptest-sweep-{}-{n}.csv", std::process::id()))
 }
 
 proptest! {

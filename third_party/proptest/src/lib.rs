@@ -54,10 +54,7 @@ pub enum TestCaseError {
 
 /// Number of accepted cases each property must run.
 pub fn cases() -> u64 {
-    std::env::var("PROPTEST_CASES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(64)
+    std::env::var("PROPTEST_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(64)
 }
 
 /// Per-block configuration, settable via
@@ -160,12 +157,12 @@ macro_rules! impl_strategy_tuple {
         }
     };
 }
-impl_strategy_tuple!(A/a);
-impl_strategy_tuple!(A/a, B/b);
-impl_strategy_tuple!(A/a, B/b, C/c);
-impl_strategy_tuple!(A/a, B/b, C/c, D/d);
-impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e);
-impl_strategy_tuple!(A/a, B/b, C/c, D/d, E/e, F/f);
+impl_strategy_tuple!(A / a);
+impl_strategy_tuple!(A / a, B / b);
+impl_strategy_tuple!(A / a, B / b, C / c);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d, E / e);
+impl_strategy_tuple!(A / a, B / b, C / c, D / d, E / e, F / f);
 
 pub mod collection {
     use super::{Strategy, TestRng};
@@ -213,8 +210,7 @@ pub mod collection {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
-            let len =
-                usize::sample_range(rng, self.size.lo, self.size.hi_inclusive, true);
+            let len = usize::sample_range(rng, self.size.lo, self.size.hi_inclusive, true);
             (0..len).map(|_| self.element.generate(rng)).collect()
         }
     }
@@ -388,7 +384,9 @@ macro_rules! prop_assert_ne {
         $crate::prop_assert!(
             *left != *right,
             "assertion failed: `{} != {}`\n  both: {:?}",
-            stringify!($left), stringify!($right), left,
+            stringify!($left),
+            stringify!($right),
+            left,
         );
     }};
 }
@@ -398,9 +396,9 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::Reject(
-                String::from(stringify!($cond)),
-            ));
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(String::from(
+                stringify!($cond),
+            )));
         }
     };
 }

@@ -81,8 +81,12 @@ impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
 /// Types sampleable uniformly from a caller-supplied range.
 pub trait SampleUniform: Sized {
     /// Sample from `[low, high)`, or `[low, high]` when `inclusive`.
-    fn sample_range<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self, inclusive: bool)
-        -> Self;
+    fn sample_range<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
 }
 
 macro_rules! impl_sample_uniform_int {
@@ -191,10 +195,7 @@ impl RngCore for StdRng {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -209,12 +210,8 @@ impl RngCore for StdRng {
 impl SeedableRng for StdRng {
     fn seed_from_u64(state: u64) -> Self {
         let mut sm = state;
-        let s = [
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-            splitmix64(&mut sm),
-        ];
+        let s =
+            [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
         StdRng { s }
     }
 }
