@@ -5,16 +5,20 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
+use llmpilot_obs::Recorder;
 use llmpilot_sim::engine::Engine;
 use llmpilot_sim::gpu::{a100_80, GpuProfile};
 use llmpilot_sim::llm::llama2_13b;
 use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
 use llmpilot_sim::request::RequestSpec;
 
-fn engine_with_batch(batch: u32) -> Engine {
+fn engine_with_batch(batch: u32, recorder: Option<Recorder>) -> Engine {
     let perf =
         PerfModel::new(llama2_13b(), GpuProfile::new(a100_80(), 1), PerfModelConfig::default());
     let mut engine = Engine::new(perf, 1_000_000);
+    if let Some(recorder) = recorder {
+        engine = engine.with_recorder(recorder);
+    }
     for _ in 0..batch {
         engine.submit(RequestSpec::new(300, 1_000)).expect("fits");
     }
@@ -23,25 +27,40 @@ fn engine_with_batch(batch: u32) -> Engine {
     engine
 }
 
+fn bench_batch(group: &mut criterion::BenchmarkGroup<'_>, batch: u32, mut engine: Engine) {
+    group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+        b.iter(|| {
+            // Keep the closed loop full: once the batch drains, submit a
+            // fresh wave so every measured step does real decode work.
+            if !engine.has_work() {
+                for _ in 0..batch {
+                    engine.submit(RequestSpec::new(300, 1_000)).expect("fits");
+                }
+            }
+            black_box(engine.step())
+        });
+    });
+}
+
 fn bench_engine(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_step");
     for batch in [1u32, 8, 32, 128] {
-        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
-            let mut engine = engine_with_batch(batch);
-            b.iter(|| {
-                // Keep the closed loop full: once the batch drains, submit a
-                // fresh wave so every measured step does real decode work.
-                if !engine.has_work() {
-                    for _ in 0..batch {
-                        engine.submit(RequestSpec::new(300, 1_000)).expect("fits");
-                    }
-                }
-                black_box(engine.step())
-            });
-        });
+        bench_batch(&mut group, batch, engine_with_batch(batch, None));
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_engine);
+/// The observability acceptance gate: stepping an engine that carries a
+/// `Recorder::disabled()` must cost within noise of one with no recorder
+/// at all (the span macro-free hot path is a branch on an `Option`).
+fn bench_engine_recorder_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step_no_recorder");
+    bench_batch(&mut group, 32, engine_with_batch(32, None));
+    group.finish();
+    let mut group = c.benchmark_group("engine_step_disabled_recorder");
+    bench_batch(&mut group, 32, engine_with_batch(32, Some(Recorder::disabled())));
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_recorder_overhead);
 criterion_main!(benches);

@@ -53,10 +53,12 @@ pub fn run() {
     let config = resilience_config();
 
     // Fault-free baseline.
-    let (clean_ds, clean_report) =
-        SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
-            .run()
-            .expect("no journal, no I/O to fail");
+    let (clean_ds, clean_report) = SweepDriver::builder(&llms, &profiles, &sampler)
+        .config(config.clone())
+        .build()
+        .expect("valid options")
+        .run()
+        .expect("no journal, no I/O to fail");
     let clean_so = so_of(&clean_ds).expect("fault-free dataset covers the catalog");
     println!(
         "fault-free baseline: {} rows, {}/{} cells measured, S/O = {:.3}\n",
@@ -77,10 +79,13 @@ pub fn run() {
                 max_attempts: retries,
                 ..SweepOptions::default()
             };
-            let (ds, report) =
-                SweepDriver::new(&llms, &profiles, &sampler, config.clone(), options)
-                    .run()
-                    .expect("no journal, no I/O to fail");
+            let (ds, report) = SweepDriver::builder(&llms, &profiles, &sampler)
+                .config(config.clone())
+                .options(options)
+                .build()
+                .expect("valid options")
+                .run()
+                .expect("no journal, no I/O to fail");
             let so = so_of(&ds);
             println!(
                 "{:>7.2} {:>8} {:>10} {:>13.2} {:>9} {:>8} {:>9} {:>8}",

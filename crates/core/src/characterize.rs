@@ -11,6 +11,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
+use llmpilot_obs::Recorder;
 use llmpilot_sim::engine::Engine;
 use llmpilot_sim::error::SimError;
 use llmpilot_sim::fault::FaultPlan;
@@ -20,7 +21,7 @@ use llmpilot_sim::load::{default_user_sweep, run_load_test_faulty, LoadTestConfi
 use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
 use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
 use llmpilot_sim::request::{RequestSource, RequestSpec};
-use llmpilot_sim::tuner::tune_max_batch_weight_faulty;
+use llmpilot_sim::tuner::tune_max_batch_weight_faulty_traced;
 use llmpilot_workload::{IndependentSampler, WorkloadSampler};
 
 use crate::dataset::{CharacterizationDataset, PerfRow};
@@ -216,6 +217,34 @@ pub fn characterize_cell_faulty(
     attempt: u32,
     budget: &CellBudget,
 ) -> CellOutcome {
+    characterize_cell_faulty_traced(
+        llm,
+        profile,
+        sampler,
+        config,
+        plan,
+        attempt,
+        budget,
+        &Recorder::disabled(),
+    )
+}
+
+/// [`characterize_cell_faulty`] with observability: every load test runs
+/// under a `cell.load_test` span (with the user count as an argument) and
+/// the engine inherits `recorder`, so engine-phase spans nest beneath the
+/// load test that produced them. Tracing never perturbs the measurement —
+/// the rows are bit-identical to an untraced run.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_cell_faulty_traced(
+    llm: &LlmSpec,
+    profile: &GpuProfile,
+    sampler: &WorkloadSampler,
+    config: &CharacterizeConfig,
+    plan: &FaultPlan,
+    attempt: u32,
+    budget: &CellBudget,
+    recorder: &Recorder,
+) -> CellOutcome {
     let cell = format!("{}/{}", llm.name, profile.name());
     let site = format!("{cell}#a{attempt}");
     let attempts = attempt + 1;
@@ -231,7 +260,7 @@ pub fn characterize_cell_faulty(
             attempts,
         };
     }
-    let tuned = match tune_max_batch_weight_faulty(&mem, plan, &site) {
+    let tuned = match tune_max_batch_weight_faulty_traced(&mem, plan, &site, recorder) {
         Ok(t) => t,
         // No valid weight exists: a deterministic property of the
         // combination, i.e. infeasible — never retried.
@@ -243,10 +272,12 @@ pub fn characterize_cell_faulty(
     let mut steps_left = budget.max_steps;
     let mut rows = Vec::with_capacity(config.user_sweep.len());
     for &users in &config.user_sweep {
+        let _load_span = recorder.span("cell.load_test").arg("users", users);
         let load_site = format!("{cell}/u{users}#a{attempt}");
         let perf = PerfModel::new(llm.clone(), profile.clone(), config.perf_config.clone());
         let mut engine = Engine::new(perf, tuned.max_batch_weight)
-            .with_latency_noise(plan.latency_noise(&load_site));
+            .with_latency_noise(plan.latency_noise(&load_site))
+            .with_recorder(recorder.clone());
         let mut source = WorkloadRequestSource::new(
             sampler.clone(),
             cell_seed(config.seed, llm.name, &profile.name(), users),

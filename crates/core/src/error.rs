@@ -21,6 +21,8 @@ pub enum CoreError {
     Io(String),
     /// Not enough data to train or evaluate.
     InsufficientData(String),
+    /// A configuration value failed validation at build time.
+    InvalidConfig(String),
     /// No GPU profile can satisfy the requirements.
     NoFeasibleRecommendation,
 }
@@ -34,6 +36,7 @@ impl fmt::Display for CoreError {
             CoreError::Parse(msg) => write!(f, "parse error: {msg}"),
             CoreError::Io(msg) => write!(f, "I/O error: {msg}"),
             CoreError::InsufficientData(msg) => write!(f, "insufficient data: {msg}"),
+            CoreError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             CoreError::NoFeasibleRecommendation => {
                 write!(f, "no GPU profile satisfies the performance requirements")
             }

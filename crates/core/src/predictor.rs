@@ -6,6 +6,7 @@
 //! minimizing the weighted MAPE.
 
 use llmpilot_ml::{grid_search, leave_one_group_out, weighted_mape, Dataset, Gbdt, GbdtParams};
+use llmpilot_obs::Recorder;
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::{llm_by_name, LlmSpec};
 
@@ -103,12 +104,29 @@ impl PerformancePredictor {
         constraints: &LatencyConstraints,
         config: &PredictorConfig,
     ) -> Result<Self, CoreError> {
+        Self::train_traced(rows, constraints, config, &Recorder::disabled())
+    }
+
+    /// [`PerformancePredictor::train`] with observability: the whole
+    /// training runs under a `predictor.train` span with one
+    /// `predictor.fit_target` span per latency target, and the underlying
+    /// GBDT fits record their phase spans beneath it.
+    pub fn train_traced(
+        rows: &[&PerfRow],
+        constraints: &LatencyConstraints,
+        config: &PredictorConfig,
+        recorder: &Recorder,
+    ) -> Result<Self, CoreError> {
+        let _train_span = recorder.span("predictor.train").arg("rows", rows.len());
         let mut gbdt = config.gbdt.clone();
         gbdt.monotone_constraints =
             if config.use_monotone_constraint { monotone_constraints(true) } else { Vec::new() };
         let fit = |target: Target| -> Result<Gbdt, CoreError> {
+            let _target_span = recorder
+                .span("predictor.fit_target")
+                .arg("target", if target == Target::Nttft { "nttft" } else { "itl" });
             let ds = build_dataset(rows, target, constraints, config)?;
-            Ok(Gbdt::fit(&ds, &gbdt)?)
+            Ok(Gbdt::fit_traced(&ds, &gbdt, recorder)?)
         };
         Ok(Self {
             nttft: fit(Target::Nttft)?,

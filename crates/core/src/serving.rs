@@ -40,6 +40,20 @@ impl ServingModel {
         constraints: &LatencyConstraints,
         config: &PredictorConfig,
     ) -> Result<Self, CoreError> {
+        Self::train_traced(dataset, constraints, config, &llmpilot_obs::Recorder::disabled())
+    }
+
+    /// [`ServingModel::train`] with observability: the training runs under
+    /// a `serving.train` span, with the predictor and GBDT phase spans
+    /// nested beneath it. The trained model is identical to an untraced
+    /// [`ServingModel::train`].
+    pub fn train_traced(
+        dataset: &CharacterizationDataset,
+        constraints: &LatencyConstraints,
+        config: &PredictorConfig,
+        recorder: &llmpilot_obs::Recorder,
+    ) -> Result<Self, CoreError> {
+        let _train_span = recorder.span("serving.train").arg("rows", dataset.len());
         dataset.validate()?;
         if dataset.is_empty() {
             return Err(CoreError::InsufficientData("empty characterization dataset".into()));
@@ -53,7 +67,7 @@ impl ServingModel {
             })
             .collect::<Result<_, _>>()?;
         let rows: Vec<_> = dataset.rows.iter().collect();
-        let predictor = PerformancePredictor::train(&rows, constraints, config)?;
+        let predictor = PerformancePredictor::train_traced(&rows, constraints, config, recorder)?;
         Ok(Self { predictor, profiles, llms: dataset.llms(), rows: dataset.len() })
     }
 

@@ -3,7 +3,9 @@
 //! On real hardware a full characterization sweep (Sec. V-B: hours of GPU
 //! time) is exactly the kind of job that dies halfway: pods crash, deploys
 //! fail transiently, a cell OOMs at the batch-weight boundary. The
-//! [`SweepDriver`] wraps [`characterize_cell_faulty`] with per-cell retry
+//! [`SweepDriver`] wraps
+//! [`characterize_cell_faulty`](crate::characterize::characterize_cell_faulty)
+//! with per-cell retry
 //! (exponential *virtual* backoff — no wall-clock sleeping in a simulator),
 //! per-cell step/virtual-time budgets, and a CSV journal so an interrupted
 //! sweep resumes where it left off without recomputing finished cells.
@@ -23,12 +25,15 @@ use std::path::PathBuf;
 
 use rayon::prelude::*;
 
+use llmpilot_obs::Recorder;
 use llmpilot_sim::fault::FaultPlan;
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::LlmSpec;
 use llmpilot_workload::WorkloadSampler;
 
-use crate::characterize::{characterize_cell_faulty, CellBudget, CellOutcome, CharacterizeConfig};
+use crate::characterize::{
+    characterize_cell_faulty_traced, CellBudget, CellOutcome, CharacterizeConfig,
+};
 use crate::dataset::{CharacterizationDataset, PerfRow};
 use crate::error::CoreError;
 
@@ -54,6 +59,10 @@ pub struct SweepOptions {
     /// Process at most this many *new* cells, then stop (simulates an
     /// interrupted sweep; used by the resume tests). `None` = all.
     pub max_cells_per_run: Option<usize>,
+    /// Observability sink: per-cell/attempt/backoff spans are recorded here,
+    /// and the engines of every load test inherit it. Disabled by default;
+    /// tracing never changes the measured dataset.
+    pub recorder: Recorder,
 }
 
 impl Default for SweepOptions {
@@ -66,6 +75,7 @@ impl Default for SweepOptions {
             max_virtual_s_per_cell: None,
             journal_path: None,
             max_cells_per_run: None,
+            recorder: Recorder::disabled(),
         }
     }
 }
@@ -397,8 +407,102 @@ pub struct SweepDriver<'a> {
     options: SweepOptions,
 }
 
+/// Builder of a [`SweepDriver`]; validates the configuration at
+/// [`build`](SweepDriverBuilder::build) and returns a typed
+/// [`CoreError::InvalidConfig`] instead of panicking on bad options.
+#[derive(Debug)]
+pub struct SweepDriverBuilder<'a> {
+    llms: &'a [LlmSpec],
+    profiles: &'a [GpuProfile],
+    sampler: &'a WorkloadSampler,
+    config: CharacterizeConfig,
+    options: SweepOptions,
+}
+
+impl<'a> SweepDriverBuilder<'a> {
+    /// Set the characterization config (defaults to
+    /// [`CharacterizeConfig::default`]).
+    pub fn config(mut self, config: CharacterizeConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Set the sweep options (defaults to [`SweepOptions::default`]).
+    pub fn options(mut self, options: SweepOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Validate and build the driver.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when any option is out of range:
+    /// `max_attempts` of 0, a negative or non-finite `backoff_base_s`, a
+    /// zero step budget, a non-positive or non-finite virtual-time budget,
+    /// or a non-positive load-test duration.
+    pub fn build(self) -> Result<SweepDriver<'a>, CoreError> {
+        let invalid = |msg: String| Err(CoreError::InvalidConfig(msg));
+        let o = &self.options;
+        if o.max_attempts < 1 {
+            return invalid("max_attempts must be at least 1".into());
+        }
+        if !o.backoff_base_s.is_finite() || o.backoff_base_s < 0.0 {
+            return invalid(format!(
+                "backoff_base_s must be finite and non-negative, got {}",
+                o.backoff_base_s
+            ));
+        }
+        if o.max_steps_per_cell == Some(0) {
+            return invalid("max_steps_per_cell must be at least 1 when set".into());
+        }
+        if let Some(v) = o.max_virtual_s_per_cell {
+            if !v.is_finite() || v <= 0.0 {
+                return invalid(format!(
+                    "max_virtual_s_per_cell must be finite and positive when set, got {v}"
+                ));
+            }
+        }
+        if !self.config.duration_s.is_finite() || self.config.duration_s <= 0.0 {
+            return invalid(format!(
+                "duration_s must be finite and positive, got {}",
+                self.config.duration_s
+            ));
+        }
+        let Self { llms, profiles, sampler, config, options } = self;
+        Ok(SweepDriver { llms, profiles, sampler, config, options })
+    }
+}
+
 impl<'a> SweepDriver<'a> {
+    /// Start building a driver over the `llms × profiles` grid. The config
+    /// and options default to their `Default` values; the grid is borrowed,
+    /// everything else is owned by the builder.
+    pub fn builder(
+        llms: &'a [LlmSpec],
+        profiles: &'a [GpuProfile],
+        sampler: &'a WorkloadSampler,
+    ) -> SweepDriverBuilder<'a> {
+        SweepDriverBuilder {
+            llms,
+            profiles,
+            sampler,
+            config: CharacterizeConfig::default(),
+            options: SweepOptions::default(),
+        }
+    }
+
     /// Build a driver over the `llms × profiles` grid.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the options fail validation. Prefer
+    /// [`SweepDriver::builder`], which returns a typed error instead.
+    #[deprecated(
+        since = "0.3.0",
+        note = "use `SweepDriver::builder(..).config(..).options(..).build()?` \
+                for validated, non-panicking construction"
+    )]
     pub fn new(
         llms: &'a [LlmSpec],
         profiles: &'a [GpuProfile],
@@ -406,14 +510,20 @@ impl<'a> SweepDriver<'a> {
         config: CharacterizeConfig,
         options: SweepOptions,
     ) -> Self {
-        assert!(options.max_attempts >= 1, "at least one attempt per cell");
-        Self { llms, profiles, sampler, config, options }
+        Self::builder(llms, profiles, sampler)
+            .config(config)
+            .options(options)
+            .build()
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Run one cell to completion: retry with exponential virtual backoff
     /// until measured, infeasible, or out of attempts. Returns the status
     /// and the backoff accrued.
     fn run_cell(&self, llm: &LlmSpec, profile: &GpuProfile) -> (CellStatus, f64) {
+        let recorder = &self.options.recorder;
+        let mut cell_span =
+            recorder.span("sweep.cell").arg("llm", llm.name).arg("profile", profile.name());
         let budget = CellBudget {
             max_steps: self.options.max_steps_per_cell,
             max_virtual_s: self.options.max_virtual_s_per_cell,
@@ -421,35 +531,49 @@ impl<'a> SweepDriver<'a> {
         let mut backoff = 0.0;
         let mut attempt = 0;
         loop {
-            let outcome = characterize_cell_faulty(
-                llm,
-                profile,
-                self.sampler,
-                &self.config,
-                &self.options.plan,
-                attempt,
-                &budget,
-            );
+            let outcome = {
+                let _attempt_span = recorder.span("sweep.attempt").arg("attempt", attempt + 1);
+                characterize_cell_faulty_traced(
+                    llm,
+                    profile,
+                    self.sampler,
+                    &self.config,
+                    &self.options.plan,
+                    attempt,
+                    &budget,
+                    recorder,
+                )
+            };
             attempt += 1;
             match outcome {
                 CellOutcome::Measured { max_batch_weight, rows } => {
+                    cell_span.set_arg("attempts", attempt);
                     return (
                         CellStatus::Measured { max_batch_weight, rows, attempts: attempt },
                         backoff,
                     );
                 }
                 CellOutcome::Infeasible(reason) => {
+                    cell_span.set_arg("infeasible", true);
                     return (CellStatus::Infeasible(reason), backoff);
                 }
                 CellOutcome::Failed { error, .. } => {
                     if attempt >= self.options.max_attempts {
+                        cell_span.set_arg("failed", true);
+                        cell_span.set_arg("attempts", attempt);
                         return (
                             CellStatus::Failed { error: error.to_string(), attempts: attempt },
                             backoff,
                         );
                     }
-                    backoff +=
+                    let step =
                         self.options.backoff_base_s * (2.0f64).powi((attempt - 1).min(60) as i32);
+                    backoff += step;
+                    recorder.counter_add("sweep.retries", 1);
+                    // Virtual backoff is never slept, so the span marks the
+                    // decision point (zero wall-clock width) and carries the
+                    // virtual wait as an argument.
+                    drop(recorder.span("sweep.backoff").arg("backoff_virtual_s", step));
                 }
             }
         }
@@ -463,6 +587,8 @@ impl<'a> SweepDriver<'a> {
     pub fn run(&self) -> Result<(CharacterizationDataset, SweepReport), CoreError> {
         let grid: Vec<(&LlmSpec, &GpuProfile)> =
             self.llms.iter().flat_map(|m| self.profiles.iter().map(move |p| (m, p))).collect();
+        let mut run_span =
+            self.options.recorder.span("sweep.run").arg("grid_cells", grid.len() as u64);
 
         // Restore finished cells from the journal.
         let (mut done, journal_dirty): (CellMap, bool) = match &self.options.journal_path {
@@ -474,6 +600,7 @@ impl<'a> SweepDriver<'a> {
             _ => (BTreeMap::new(), false),
         };
         let resumed = done.len();
+        run_span.set_arg("resumed", resumed as u64);
 
         // Cells still to process, in grid order, capped per run.
         let todo: Vec<(&LlmSpec, &GpuProfile)> = grid
@@ -580,12 +707,27 @@ mod tests {
         )
     }
 
+    /// Shorthand: a validated driver, panicking on config errors (tests
+    /// only pass valid configs here).
+    fn driver<'a>(
+        llms: &'a [LlmSpec],
+        profiles: &'a [GpuProfile],
+        sampler: &'a WorkloadSampler,
+        config: CharacterizeConfig,
+        options: SweepOptions,
+    ) -> SweepDriver<'a> {
+        SweepDriver::builder(llms, profiles, sampler)
+            .config(config)
+            .options(options)
+            .build()
+            .unwrap()
+    }
+
     #[test]
     fn fault_free_sweep_equals_plain_characterize() {
         let s = sampler();
         let (llms, profiles) = grid();
-        let driver =
-            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default());
+        let driver = driver(&llms, &profiles, &s, quick_config(), SweepOptions::default());
         let (ds, report) = driver.run().unwrap();
         let plain = crate::characterize::characterize(&llms, &profiles, &s, &quick_config());
         assert_eq!(ds, plain);
@@ -600,10 +742,8 @@ mod tests {
     fn transient_faults_with_retries_recover_the_full_dataset() {
         let s = sampler();
         let (llms, profiles) = grid();
-        let clean = SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
-            .run()
-            .unwrap()
-            .0;
+        let clean =
+            driver(&llms, &profiles, &s, quick_config(), SweepOptions::default()).run().unwrap().0;
         let options = SweepOptions {
             // p = 0.4 on deploy + tuning + two load tests leaves only a
             // ~13% success chance per attempt; 64 attempts push the
@@ -612,8 +752,7 @@ mod tests {
             max_attempts: 64,
             ..SweepOptions::default()
         };
-        let (ds, report) =
-            SweepDriver::new(&llms, &profiles, &s, quick_config(), options).run().unwrap();
+        let (ds, report) = driver(&llms, &profiles, &s, quick_config(), options).run().unwrap();
         assert_eq!(ds, clean, "recovered dataset must be bit-identical");
         assert_eq!(report.failed(), 0);
     }
@@ -630,8 +769,7 @@ mod tests {
             max_attempts: 2,
             ..SweepOptions::default()
         };
-        let (ds, report) =
-            SweepDriver::new(&llms, &profiles, &s, quick_config(), options).run().unwrap();
+        let (ds, report) = driver(&llms, &profiles, &s, quick_config(), options).run().unwrap();
         assert!(ds.is_empty());
         assert_eq!(report.failed(), 3);
         assert_eq!(report.infeasible(), 1); // infeasibility checked pre-deploy
@@ -650,10 +788,7 @@ mod tests {
         let s = sampler();
         let (llms, profiles) = grid();
         let one_shot =
-            SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default())
-                .run()
-                .unwrap()
-                .0;
+            driver(&llms, &profiles, &s, quick_config(), SweepOptions::default()).run().unwrap().0;
 
         let dir = std::env::temp_dir().join(format!("llmpilot-sweep-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
@@ -665,7 +800,7 @@ mod tests {
             max_cells_per_run: Some(1),
             ..SweepOptions::default()
         };
-        let driver = SweepDriver::new(&llms, &profiles, &s, quick_config(), options);
+        let driver = driver(&llms, &profiles, &s, quick_config(), options);
         let mut runs = 0;
         let (ds, report) = loop {
             let (ds, report) = driver.run().unwrap();
@@ -777,17 +912,16 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("sweep_torn_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let journal = dir.join("torn.csv");
-        let one_shot =
-            SweepDriver::new(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
-                .run()
-                .unwrap()
-                .0;
+        let one_shot = driver(&llms, &profiles, &sampler, config.clone(), SweepOptions::default())
+            .run()
+            .unwrap()
+            .0;
         // Run once journaled, then tear the journal: drop the last line (a
         // whole dataset row — the boundary case the parser cannot detect)
         // plus a few bytes of the one before.
         let opts =
             || SweepOptions { journal_path: Some(journal.clone()), ..SweepOptions::default() };
-        SweepDriver::new(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
+        driver(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
         let text = std::fs::read_to_string(&journal).unwrap();
         let keep: Vec<&str> = text.lines().collect();
         let torn =
@@ -795,7 +929,7 @@ mod tests {
         std::fs::write(&journal, torn).unwrap();
         // Resume must recompute the damaged cell and still match one-shot.
         let (ds, report) =
-            SweepDriver::new(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
+            driver(&llms, &profiles, &sampler, config.clone(), opts()).run().unwrap();
         assert_eq!(ds, one_shot, "post-tear resume must be bit-identical");
         assert_eq!(report.pending, 0);
         // The resume must also have healed the journal: it now parses clean
@@ -803,11 +937,144 @@ mod tests {
         let healed = std::fs::read_to_string(&journal).unwrap();
         let (_, dirty) = parse_journal(&healed).unwrap();
         assert!(!dirty, "journal must be rewritten whole after a tear");
-        let (ds, report) =
-            SweepDriver::new(&llms, &profiles, &sampler, config, opts()).run().unwrap();
+        let (ds, report) = driver(&llms, &profiles, &sampler, config, opts()).run().unwrap();
         assert_eq!(ds, one_shot);
         assert_eq!(report.resumed, report.cells.len(), "all cells resume from the healed journal");
         let _ = std::fs::remove_file(&journal);
         let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_options_with_typed_errors() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let build = |options: SweepOptions| {
+            SweepDriver::builder(&llms, &profiles, &s)
+                .config(quick_config())
+                .options(options)
+                .build()
+                .map(|_| ())
+        };
+        let expect_invalid = |result: Result<(), CoreError>, needle: &str| match result {
+            Err(CoreError::InvalidConfig(msg)) => {
+                assert!(msg.contains(needle), "{msg:?} should mention {needle:?}")
+            }
+            other => panic!("expected InvalidConfig({needle}), got {other:?}"),
+        };
+        expect_invalid(
+            build(SweepOptions { max_attempts: 0, ..SweepOptions::default() }),
+            "max_attempts",
+        );
+        expect_invalid(
+            build(SweepOptions { backoff_base_s: -1.0, ..SweepOptions::default() }),
+            "backoff_base_s",
+        );
+        expect_invalid(
+            build(SweepOptions { backoff_base_s: f64::NAN, ..SweepOptions::default() }),
+            "backoff_base_s",
+        );
+        expect_invalid(
+            build(SweepOptions { max_steps_per_cell: Some(0), ..SweepOptions::default() }),
+            "max_steps_per_cell",
+        );
+        expect_invalid(
+            build(SweepOptions { max_virtual_s_per_cell: Some(0.0), ..SweepOptions::default() }),
+            "max_virtual_s_per_cell",
+        );
+        let bad_duration = SweepDriver::builder(&llms, &profiles, &s)
+            .config(CharacterizeConfig { duration_s: 0.0, ..CharacterizeConfig::default() })
+            .build()
+            .map(|_| ());
+        expect_invalid(bad_duration, "duration_s");
+        // And valid defaults build fine.
+        assert!(build(SweepOptions::default()).is_ok());
+    }
+
+    /// The deprecated positional constructor must keep forwarding to the
+    /// builder (and keep panicking on bad options) until it is removed.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_new_forwards_to_the_builder() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let d = SweepDriver::new(&llms, &profiles, &s, quick_config(), SweepOptions::default());
+        let (ds, report) = d.run().unwrap();
+        assert!(report.is_complete());
+        assert!(!ds.is_empty());
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            SweepDriver::new(
+                &llms,
+                &profiles,
+                &s,
+                quick_config(),
+                SweepOptions { max_attempts: 0, ..SweepOptions::default() },
+            )
+        }));
+        assert!(panicked.is_err(), "new() must panic on invalid options");
+    }
+
+    #[test]
+    fn faulty_sweep_trace_has_one_cell_span_per_cell_including_retries() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let untraced = driver(
+            &llms,
+            &profiles,
+            &s,
+            quick_config(),
+            SweepOptions {
+                plan: FaultPlan::new(FaultConfig::transient(7, 0.4)),
+                max_attempts: 64,
+                ..SweepOptions::default()
+            },
+        )
+        .run()
+        .unwrap();
+        let recorder = Recorder::enabled();
+        let (ds, report) = driver(
+            &llms,
+            &profiles,
+            &s,
+            quick_config(),
+            SweepOptions {
+                plan: FaultPlan::new(FaultConfig::transient(7, 0.4)),
+                max_attempts: 64,
+                recorder: recorder.clone(),
+                ..SweepOptions::default()
+            },
+        )
+        .run()
+        .unwrap();
+        assert_eq!((ds, report.clone()), untraced, "tracing must not perturb the sweep");
+
+        let trace = recorder.snapshot();
+        let count = |name: &str| trace.events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("sweep.run"), 1);
+        assert_eq!(count("sweep.cell"), 4, "one sweep.cell span per grid cell");
+        // This fault plan retries at least one cell, and every retry means
+        // an extra attempt span and a backoff marker.
+        let attempts: u32 = report
+            .cells
+            .iter()
+            .map(|(_, _, status)| match status {
+                CellStatus::Measured { attempts, .. } | CellStatus::Failed { attempts, .. } => {
+                    *attempts
+                }
+                // An infeasible cell burns exactly one attempt.
+                CellStatus::Infeasible(_) => 1,
+            })
+            .sum();
+        assert!(report.retried() >= 1, "fault plan was expected to force retries");
+        assert_eq!(count("sweep.attempt"), attempts as usize);
+        assert_eq!(count("sweep.backoff"), (attempts as usize) - 4);
+        // Every cell span is parented to the sweep.run span, and load tests
+        // nest below their cell's attempts.
+        let run_id = trace.events.iter().find(|e| e.name == "sweep.run").unwrap().id;
+        for e in trace.events.iter().filter(|e| e.name == "sweep.cell") {
+            assert_eq!(e.parent, Some(run_id));
+        }
+        assert!(count("cell.load_test") >= report.measured() * 2);
+        let retries = trace.counters.iter().find(|(k, _)| k == "sweep.retries").unwrap().1;
+        assert_eq!(retries as usize, (attempts as usize) - 4);
     }
 }

@@ -11,6 +11,7 @@
 //! inherit value bounds (`[lower, mid]` / `[mid, upper]`) so deeper splits
 //! cannot re-introduce a violation.
 
+use llmpilot_obs::Recorder;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -142,6 +143,7 @@ struct TreeBuilder<'a> {
     nodes: Vec<Node>,
     /// Per-feature accumulated split gain (XGBoost's `gain` importance).
     gain: &'a mut [f64],
+    recorder: &'a Recorder,
 }
 
 impl TreeBuilder<'_> {
@@ -156,11 +158,17 @@ impl TreeBuilder<'_> {
         let node_id = self.nodes.len() as u32;
 
         if depth >= self.params.max_depth || total.h < 2.0 * self.params.min_child_weight {
+            let _leaf_span = self.recorder.span("gbdt.leaf_fit");
             self.nodes.push(Node::Leaf { value: clamp(total.value(self.params.lambda)) });
             return node_id;
         }
 
-        let Some(split) = self.best_split(&rows, &total, bound) else {
+        let split = {
+            let _search_span = self.recorder.span("gbdt.split_search").arg("rows", rows.len());
+            self.best_split(&rows, &total, bound)
+        };
+        let Some(split) = split else {
+            let _leaf_span = self.recorder.span("gbdt.leaf_fit");
             self.nodes.push(Node::Leaf { value: clamp(total.value(self.params.lambda)) });
             return node_id;
         };
@@ -244,6 +252,24 @@ impl TreeBuilder<'_> {
 impl Gbdt {
     /// Fit the ensemble to a (possibly weighted) dataset.
     pub fn fit(ds: &Dataset, params: &GbdtParams) -> Result<Self, MlError> {
+        Self::fit_traced(ds, params, &Recorder::disabled())
+    }
+
+    /// [`Gbdt::fit`] with observability: the whole fit runs under a
+    /// `gbdt.fit` span, with `gbdt.histogram` around the bin construction,
+    /// one `gbdt.tree` span per boosting round, and `gbdt.split_search` /
+    /// `gbdt.leaf_fit` spans per node. Tracing never changes the fitted
+    /// model — subsampling RNG state is untouched by the recorder.
+    pub fn fit_traced(
+        ds: &Dataset,
+        params: &GbdtParams,
+        recorder: &Recorder,
+    ) -> Result<Self, MlError> {
+        let mut fit_span = recorder
+            .span("gbdt.fit")
+            .arg("rows", ds.n_rows())
+            .arg("cols", ds.n_cols())
+            .arg("n_trees", params.n_trees);
         if ds.n_rows() == 0 {
             return Err(MlError::Shape("cannot fit GBDT to zero rows".into()));
         }
@@ -269,8 +295,12 @@ impl Gbdt {
             return Err(MlError::InvalidConfig("validation_fraction must be in [0, 1)".into()));
         }
 
-        let bins = FeatureBins::fit(ds, params.max_bins);
-        let binned = bins.bin_matrix(ds);
+        let (bins, binned) = {
+            let _hist_span = recorder.span("gbdt.histogram").arg("max_bins", params.max_bins);
+            let bins = FeatureBins::fit(ds, params.max_bins);
+            let binned = bins.bin_matrix(ds);
+            (bins, binned)
+        };
         let n = ds.n_rows();
         let weights = ds.weights_vec();
 
@@ -306,7 +336,8 @@ impl Gbdt {
         let mut best_val_rmse = f64::INFINITY;
         let mut rounds_without_improvement = 0usize;
 
-        for _ in 0..params.n_trees {
+        for round in 0..params.n_trees {
+            let _tree_span = recorder.span("gbdt.tree").arg("round", round);
             for i in 0..n {
                 // Squared loss: g = w (pred − y), h = w. Validation rows
                 // carry zero hessian so they never influence the fit.
@@ -345,6 +376,7 @@ impl Gbdt {
                 features,
                 nodes: Vec::new(),
                 gain: &mut gain,
+                recorder,
             };
             builder.build(rows, 0, (f64::NEG_INFINITY, f64::INFINITY));
             let tree = HistTree { nodes: builder.nodes };
@@ -378,6 +410,8 @@ impl Gbdt {
                 *v /= total;
             }
         }
+        fit_span.set_arg("trees_fitted", trees.len());
+        recorder.counter_add("gbdt.trees_fitted", trees.len() as u64);
         Ok(Self { base_score, trees, learning_rate: params.learning_rate, importance: gain })
     }
 
@@ -640,6 +674,38 @@ mod extension_tests {
             .is_err());
         assert!(Gbdt::fit(&ds, &GbdtParams { validation_fraction: -0.1, ..GbdtParams::default() })
             .is_err());
+    }
+
+    #[test]
+    fn traced_fit_matches_untraced_and_records_phases() {
+        let (ds, _) = make_data(400, 30);
+        let params = GbdtParams { n_trees: 12, subsample: 0.8, ..GbdtParams::default() };
+        let untraced = Gbdt::fit(&ds, &params).unwrap();
+        let recorder = Recorder::enabled();
+        let traced = Gbdt::fit_traced(&ds, &params, &recorder).unwrap();
+        for i in 0..ds.n_rows() {
+            assert_eq!(untraced.predict_row(ds.row(i)), traced.predict_row(ds.row(i)));
+        }
+
+        let trace = recorder.snapshot();
+        let count = |name: &str| trace.events.iter().filter(|e| e.name == name).count();
+        assert_eq!(count("gbdt.fit"), 1);
+        assert_eq!(count("gbdt.histogram"), 1);
+        assert_eq!(count("gbdt.tree"), 12);
+        assert!(count("gbdt.split_search") >= 12, "at least one split search per tree");
+        assert!(count("gbdt.leaf_fit") >= 12);
+        // Trees nest under the fit span; node phases nest under their tree.
+        let fit_id = trace.events.iter().find(|e| e.name == "gbdt.fit").unwrap().id;
+        for e in trace.events.iter().filter(|e| e.name == "gbdt.tree") {
+            assert_eq!(e.parent, Some(fit_id));
+        }
+        let tree_ids: std::collections::HashSet<u64> =
+            trace.events.iter().filter(|e| e.name == "gbdt.tree").map(|e| e.id).collect();
+        for e in trace.events.iter().filter(|e| e.name == "gbdt.split_search") {
+            assert!(tree_ids.contains(&e.parent.unwrap()));
+        }
+        let fitted = trace.counters.iter().find(|(k, _)| k == "gbdt.trees_fitted").unwrap().1;
+        assert_eq!(fitted, 12);
     }
 
     #[test]

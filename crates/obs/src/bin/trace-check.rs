@@ -1,0 +1,73 @@
+//! `trace-check` — validate a Chrome `trace_event` JSON file.
+//!
+//! ```text
+//! trace-check FILE [--require-span NAME]...
+//! ```
+//!
+//! Exits 0 when `FILE` parses as JSON, every span event is well-formed,
+//! begin/end intervals nest strictly per thread, parent links resolve and
+//! enclose their children, and every `--require-span` name occurs at least
+//! once. Exits 1 with a diagnostic otherwise, 2 on usage errors. Used by
+//! CI to gate `llm-pilot characterize --trace-out` output.
+
+use std::process::exit;
+
+use llmpilot_obs::check::check_chrome_trace;
+
+fn usage() -> ! {
+    eprintln!("usage: trace-check FILE [--require-span NAME]...");
+    exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let mut required: Vec<String> = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--require-span" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("missing value for --require-span");
+                    usage();
+                };
+                required.push(name.clone());
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            flag if flag.starts_with('-') => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+            path => {
+                if file.replace(path.to_string()).is_some() {
+                    eprintln!("multiple input files given");
+                    usage();
+                }
+                i += 1;
+            }
+        }
+    }
+    let Some(file) = file else { usage() };
+
+    let document = match std::fs::read_to_string(&file) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            exit(1)
+        }
+    };
+    let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
+    match check_chrome_trace(&document, &required_refs) {
+        Ok(stats) => {
+            println!(
+                "{file}: OK — {} spans on {} thread(s), {} counter event(s), max depth {}",
+                stats.span_events, stats.threads, stats.counter_events, stats.max_depth
+            );
+        }
+        Err(e) => {
+            eprintln!("error: {file}: {e}");
+            exit(1)
+        }
+    }
+}

@@ -1,0 +1,271 @@
+//! Structural validation of Chrome `trace_event` documents.
+//!
+//! Shared by the `trace-check` binary (CI smoke gate) and the round-trip
+//! property tests. A document passes when it parses as JSON, every
+//! complete (`"X"`) event carries the required fields, begin/end intervals
+//! are strictly nested per thread, and every recorded `parent` id refers
+//! to an existing span that actually encloses the child.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::json::{parse, Json};
+
+/// Interval-comparison slack in microseconds; covers `f64` addition
+/// rounding on values that were exact decimals in the document.
+const EPS_US: f64 = 0.002;
+
+/// What a successful validation saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CheckStats {
+    /// Number of complete (`"ph":"X"`) span events.
+    pub span_events: usize,
+    /// Number of distinct thread ids among span events.
+    pub threads: usize,
+    /// Number of counter (`"ph":"C"`) events.
+    pub counter_events: usize,
+    /// Deepest parent-chain length observed.
+    pub max_depth: usize,
+}
+
+struct SpanRow {
+    name: String,
+    id: u64,
+    parent: Option<u64>,
+    tid: u64,
+    ts: f64,
+    end: f64,
+}
+
+fn field_f64(event: &Json, key: &str, idx: usize) -> Result<f64, String> {
+    event
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("event #{idx}: missing or non-numeric {key:?}"))
+}
+
+fn span_row(event: &Json, idx: usize) -> Result<SpanRow, String> {
+    let name = event
+        .get("name")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("event #{idx}: missing or non-string \"name\""))?
+        .to_string();
+    let ts = field_f64(event, "ts", idx)?;
+    let dur = field_f64(event, "dur", idx)?;
+    if ts < 0.0 || dur < 0.0 {
+        return Err(format!("event #{idx} ({name}): negative ts or dur"));
+    }
+    field_f64(event, "pid", idx)?;
+    let tid = event
+        .get("tid")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("event #{idx} ({name}): missing or non-integer \"tid\""))?;
+    let args =
+        event.get("args").ok_or_else(|| format!("event #{idx} ({name}): missing \"args\""))?;
+    let id = args
+        .get("id")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("event #{idx} ({name}): missing args.id"))?;
+    let parent = match args.get("parent") {
+        None | Some(Json::Null) => None,
+        Some(p) => Some(
+            p.as_u64().ok_or_else(|| format!("event #{idx} ({name}): non-integer args.parent"))?,
+        ),
+    };
+    Ok(SpanRow { name, id, parent, tid, ts, end: ts + dur })
+}
+
+/// Validate `document` (a Chrome trace JSON string). `required_spans`
+/// lists span names that must each occur at least once.
+pub fn check_chrome_trace(document: &str, required_spans: &[&str]) -> Result<CheckStats, String> {
+    let root = parse(document).map_err(|e| format!("invalid JSON: {e}"))?;
+    let events = root
+        .get("traceEvents")
+        .and_then(Json::as_array)
+        .ok_or("top level must be an object with a \"traceEvents\" array")?;
+
+    let mut spans = Vec::new();
+    let mut counter_events = 0usize;
+    for (idx, event) in events.iter().enumerate() {
+        let ph = event
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event #{idx}: missing or non-string \"ph\""))?;
+        match ph {
+            "X" => spans.push(span_row(event, idx)?),
+            "C" => counter_events += 1,
+            "M" => {}
+            other => return Err(format!("event #{idx}: unsupported phase {other:?}")),
+        }
+    }
+
+    // Unique ids; parent links resolve and enclose.
+    let mut by_id: HashMap<u64, usize> = HashMap::new();
+    for (i, s) in spans.iter().enumerate() {
+        if by_id.insert(s.id, i).is_some() {
+            return Err(format!("duplicate span id {}", s.id));
+        }
+    }
+    for s in &spans {
+        if let Some(pid) = s.parent {
+            let Some(&pi) = by_id.get(&pid) else {
+                return Err(format!("span {} ({}) has orphan parent {pid}", s.id, s.name));
+            };
+            let p = &spans[pi];
+            if p.tid != s.tid {
+                return Err(format!(
+                    "span {} ({}) on tid {} has parent {} on tid {}",
+                    s.id, s.name, s.tid, pid, p.tid
+                ));
+            }
+            if s.ts + EPS_US < p.ts || s.end > p.end + EPS_US {
+                return Err(format!(
+                    "span {} ({}) [{:.3}, {:.3}] escapes parent {} [{:.3}, {:.3}]",
+                    s.id, s.name, s.ts, s.end, pid, p.ts, p.end
+                ));
+            }
+        }
+    }
+
+    // Per-thread strict nesting: no two spans on one thread may partially
+    // overlap. Sweep in (ts, -dur) order with a stack of open intervals.
+    let tids: BTreeSet<u64> = spans.iter().map(|s| s.tid).collect();
+    for &tid in &tids {
+        let mut rows: Vec<&SpanRow> = spans.iter().filter(|s| s.tid == tid).collect();
+        rows.sort_by(|a, b| {
+            a.ts.total_cmp(&b.ts).then(b.end.total_cmp(&a.end)).then(a.id.cmp(&b.id))
+        });
+        let mut open: Vec<f64> = Vec::new();
+        for row in rows {
+            while let Some(&top_end) = open.last() {
+                if top_end <= row.ts + EPS_US {
+                    open.pop();
+                } else {
+                    break;
+                }
+            }
+            if let Some(&top_end) = open.last() {
+                if row.end > top_end + EPS_US {
+                    return Err(format!(
+                        "span {} ({}) [{:.3}, {:.3}] on tid {tid} partially overlaps an \
+                         enclosing span ending at {top_end:.3}",
+                        row.id, row.name, row.ts, row.end
+                    ));
+                }
+            }
+            open.push(row.end);
+        }
+    }
+
+    // Depth of each parent chain (also proves the links are acyclic,
+    // since ids are unique and chains are bounded by the span count).
+    let mut max_depth = 0usize;
+    for s in &spans {
+        let mut depth = 1usize;
+        let mut cursor = s.parent;
+        while let Some(pid) = cursor {
+            depth += 1;
+            if depth > spans.len() {
+                return Err(format!("parent cycle reached from span {}", s.id));
+            }
+            cursor = spans[by_id[&pid]].parent;
+        }
+        max_depth = max_depth.max(depth);
+    }
+
+    for required in required_spans {
+        if !spans.iter().any(|s| s.name == *required) {
+            return Err(format!("required span {required:?} not found in trace"));
+        }
+    }
+
+    Ok(CheckStats { span_events: spans.len(), threads: tids.len(), counter_events, max_depth })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chrome::to_chrome_json;
+    use crate::Recorder;
+
+    #[test]
+    fn real_recorder_output_passes() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("sweep.cell").arg("llm", "x");
+            let _b = rec.span("tuner.ramp");
+        }
+        rec.counter_add("probes", 3);
+        let doc = to_chrome_json(&rec.snapshot());
+        let stats = check_chrome_trace(&doc, &["sweep.cell", "tuner.ramp"]).unwrap();
+        assert_eq!(stats.span_events, 2);
+        assert_eq!(stats.threads, 1);
+        assert_eq!(stats.counter_events, 1);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn missing_required_span_fails() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("a");
+        }
+        let doc = to_chrome_json(&rec.snapshot());
+        let err = check_chrome_trace(&doc, &["sweep.cell"]).unwrap_err();
+        assert!(err.contains("sweep.cell"), "{err}");
+    }
+
+    #[test]
+    fn orphan_parent_fails() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":1,"args":{"id":1,"parent":99}}
+        ]}"#;
+        let err = check_chrome_trace(doc, &[]).unwrap_err();
+        assert!(err.contains("orphan parent"), "{err}");
+    }
+
+    #[test]
+    fn partial_overlap_fails() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"id":1}},
+            {"name":"b","ph":"X","ts":5,"dur":10,"pid":1,"tid":1,"args":{"id":2}}
+        ]}"#;
+        let err = check_chrome_trace(doc, &[]).unwrap_err();
+        assert!(err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn child_escaping_parent_fails() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"id":1}},
+            {"name":"b","ph":"X","ts":8,"dur":10,"pid":1,"tid":1,"args":{"id":2,"parent":1}}
+        ]}"#;
+        let err = check_chrome_trace(doc, &[]).unwrap_err();
+        assert!(err.contains("escapes parent") || err.contains("overlap"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_ids_fail() {
+        let doc = r#"{"traceEvents":[
+            {"name":"a","ph":"X","ts":0,"dur":1,"pid":1,"tid":1,"args":{"id":1}},
+            {"name":"b","ph":"X","ts":2,"dur":1,"pid":1,"tid":1,"args":{"id":1}}
+        ]}"#;
+        assert!(check_chrome_trace(doc, &[]).unwrap_err().contains("duplicate"));
+    }
+
+    #[test]
+    fn invalid_json_fails() {
+        assert!(check_chrome_trace("{not json", &[]).is_err());
+        assert!(check_chrome_trace("[]", &[]).is_err());
+    }
+
+    #[test]
+    fn siblings_touching_at_a_boundary_pass() {
+        let doc = r#"{"traceEvents":[
+            {"name":"p","ph":"X","ts":0,"dur":10,"pid":1,"tid":1,"args":{"id":1}},
+            {"name":"a","ph":"X","ts":0,"dur":5,"pid":1,"tid":1,"args":{"id":2,"parent":1}},
+            {"name":"b","ph":"X","ts":5,"dur":5,"pid":1,"tid":1,"args":{"id":3,"parent":1}}
+        ]}"#;
+        let stats = check_chrome_trace(doc, &["p", "a", "b"]).unwrap();
+        assert_eq!(stats.max_depth, 2);
+    }
+}

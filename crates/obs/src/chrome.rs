@@ -1,0 +1,182 @@
+//! Chrome `trace_event` JSON export.
+//!
+//! Emits the "JSON object format" (`{"traceEvents": [...]}`) understood by
+//! `chrome://tracing` and [Perfetto](https://ui.perfetto.dev): one complete
+//! (`"ph":"X"`) event per span with microsecond `ts`/`dur`, thread-name
+//! metadata (`"ph":"M"`) per logical thread, and one counter (`"ph":"C"`)
+//! sample per recorder counter/gauge. Span `args` carry the typed span
+//! arguments plus the span `id`/`parent` links so tooling (and our own
+//! checker) can rebuild the tree exactly.
+
+use crate::json::escape;
+use crate::{ArgValue, Trace};
+
+/// Process id used for every event (a trace covers one process).
+pub const PID: u64 = 1;
+
+fn fmt_us(ns: u64) -> String {
+    // Exact µs with nanosecond fraction; avoids f64 rounding entirely.
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+fn arg_json(value: &ArgValue) -> String {
+    match value {
+        ArgValue::U64(v) => v.to_string(),
+        ArgValue::I64(v) => v.to_string(),
+        ArgValue::F64(v) if v.is_finite() => {
+            let mut s = format!("{v}");
+            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                s.push_str(".0");
+            }
+            s
+        }
+        // JSON has no NaN/Inf; stringify so the document stays valid.
+        ArgValue::F64(v) => format!("\"{v}\""),
+        ArgValue::Bool(v) => v.to_string(),
+        ArgValue::Str(s) => format!("\"{}\"", escape(s)),
+    }
+}
+
+/// Render `trace` as a Chrome `trace_event` JSON document.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(64 + trace.events.len() * 160);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    let mut push = |out: &mut String, event: String| {
+        if !std::mem::take(&mut first) {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str(&event);
+    };
+
+    // Thread-name metadata so Perfetto labels tracks "worker-<tid>".
+    let mut tids: Vec<u64> = trace.events.iter().map(|e| e.tid).collect();
+    tids.sort_unstable();
+    tids.dedup();
+    for tid in &tids {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
+                 \"args\":{{\"name\":\"worker-{tid}\"}}}}"
+            ),
+        );
+    }
+
+    for e in &trace.events {
+        let mut args = format!("\"id\":{}", e.id);
+        if let Some(parent) = e.parent {
+            args.push_str(&format!(",\"parent\":{parent}"));
+        }
+        for (key, value) in &e.args {
+            args.push_str(&format!(",\"{}\":{}", escape(key), arg_json(value)));
+        }
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
+                 \"pid\":{PID},\"tid\":{},\"args\":{{{args}}}}}",
+                escape(&e.name),
+                fmt_us(e.begin_ns),
+                fmt_us(e.duration_ns()),
+                e.tid,
+            ),
+        );
+    }
+
+    // Counters and gauges as single counter samples at the trace end.
+    let end_ns = trace.events.iter().map(|e| e.end_ns).max().unwrap_or(0);
+    for (name, value) in &trace.counters {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\
+                 \"args\":{{\"value\":{value}}}}}",
+                escape(name),
+                fmt_us(end_ns),
+            ),
+        );
+    }
+    for (name, value) in &trace.gauges {
+        push(
+            &mut out,
+            format!(
+                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\
+                 \"args\":{{\"value\":{value}}}}}",
+                escape(name),
+                fmt_us(end_ns),
+            ),
+        );
+    }
+
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use crate::Recorder;
+
+    #[test]
+    fn exported_trace_is_valid_json_with_expected_shape() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("outer").arg("llm", "Llama-2-7b").arg("users", 8u32);
+            let _b = rec.span("inner").arg("ratio", 0.5f64).arg("ok", true);
+        }
+        rec.counter_add("steps", 11);
+        rec.gauge_set("depth", -3);
+        let doc = to_chrome_json(&rec.snapshot());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 metadata + 2 spans + 1 counter + 1 gauge.
+        assert_eq!(events.len(), 5);
+        let spans: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("X")).collect();
+        assert_eq!(spans.len(), 2);
+        for s in &spans {
+            assert!(s.get("ts").unwrap().as_f64().is_some());
+            assert!(s.get("dur").unwrap().as_f64().is_some());
+            assert_eq!(s.get("pid").unwrap().as_u64(), Some(PID));
+            assert!(s.get("args").unwrap().get("id").unwrap().as_u64().is_some());
+        }
+        let inner =
+            spans.iter().find(|s| s.get("name").and_then(Json::as_str) == Some("inner")).unwrap();
+        assert!(inner.get("args").unwrap().get("parent").unwrap().as_u64().is_some());
+        assert_eq!(inner.get("args").unwrap().get("ok"), Some(&Json::Bool(true)));
+        let counters: Vec<&Json> =
+            events.iter().filter(|e| e.get("ph").and_then(Json::as_str) == Some("C")).collect();
+        assert_eq!(counters.len(), 2);
+    }
+
+    #[test]
+    fn timestamps_are_exact_microseconds() {
+        assert_eq!(fmt_us(0), "0.000");
+        assert_eq!(fmt_us(1), "0.001");
+        assert_eq!(fmt_us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let doc = to_chrome_json(&Trace::default());
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn names_with_quotes_survive_export() {
+        let rec = Recorder::enabled();
+        {
+            let _s = rec.span("weird \"name\"\n").arg("k\"ey", "v\\al");
+        }
+        let doc = to_chrome_json(&rec.snapshot());
+        let v = parse(&doc).unwrap();
+        let events = v.get("traceEvents").unwrap().as_array().unwrap();
+        assert!(events
+            .iter()
+            .any(|e| e.get("name").and_then(Json::as_str) == Some("weird \"name\"\n")));
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text hierarchical span summary.
+//!
+//! Groups spans by their *name path* (root span name → … → span name) and
+//! reports, per path: call count, total inclusive time, and p50/p99
+//! **self-time** — the span's duration minus the duration of its direct
+//! children, i.e. time actually spent in that phase rather than delegated.
+
+use std::collections::{BTreeMap, HashMap};
+
+use crate::Trace;
+
+/// Guard against corrupted parent links; real traces nest far shallower.
+const MAX_DEPTH: usize = 64;
+
+#[derive(Default)]
+struct PathStats {
+    count: u64,
+    total_ns: u64,
+    self_ns: Vec<u64>,
+}
+
+fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    // Nearest-rank on the sorted sample.
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+fn fmt_ms(ns: u64) -> String {
+    format!("{:.3}", ns as f64 / 1e6)
+}
+
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}", ns as f64 / 1e3)
+}
+
+/// Render the hierarchical summary of `trace` as aligned plain text.
+pub fn summarize(trace: &Trace) -> String {
+    let index: HashMap<u64, usize> =
+        trace.events.iter().enumerate().map(|(i, e)| (e.id, i)).collect();
+
+    // Sum of direct children's inclusive durations, per parent id.
+    let mut child_ns: HashMap<u64, u64> = HashMap::new();
+    for e in &trace.events {
+        if let Some(parent) = e.parent {
+            *child_ns.entry(parent).or_insert(0) += e.duration_ns();
+        }
+    }
+
+    // Name path per span: walk parent links (bounded, cycle-safe).
+    let mut stats: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+    for e in &trace.events {
+        let mut path = vec![e.name.to_string()];
+        let mut cursor = e.parent;
+        while let Some(pid) = cursor {
+            if path.len() >= MAX_DEPTH {
+                break;
+            }
+            match index.get(&pid) {
+                Some(&i) => {
+                    path.push(trace.events[i].name.to_string());
+                    cursor = trace.events[i].parent;
+                }
+                None => {
+                    path.push("<orphan>".to_string());
+                    break;
+                }
+            }
+        }
+        path.reverse();
+        let entry = stats.entry(path).or_default();
+        entry.count += 1;
+        entry.total_ns += e.duration_ns();
+        entry
+            .self_ns
+            .push(e.duration_ns().saturating_sub(child_ns.get(&e.id).copied().unwrap_or(0)));
+    }
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>9} {:>12} {:>13} {:>13}\n",
+        "span", "count", "total ms", "p50 self µs", "p99 self µs"
+    ));
+    for (path, s) in &mut stats {
+        s.self_ns.sort_unstable();
+        let depth = path.len() - 1;
+        let label =
+            format!("{}{}", "  ".repeat(depth), path.last().map(String::as_str).unwrap_or("?"));
+        out.push_str(&format!(
+            "{:<52} {:>9} {:>12} {:>13} {:>13}\n",
+            label,
+            s.count,
+            fmt_ms(s.total_ns),
+            fmt_us(percentile_ns(&s.self_ns, 50.0)),
+            fmt_us(percentile_ns(&s.self_ns, 99.0)),
+        ));
+    }
+
+    if !trace.counters.is_empty() || !trace.gauges.is_empty() {
+        out.push_str("\ncounters:\n");
+        for (name, value) in &trace.counters {
+            out.push_str(&format!("  {name:<50} {value:>12}\n"));
+        }
+        for (name, value) in &trace.gauges {
+            out.push_str(&format!("  {name:<50} {value:>12} (gauge)\n"));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Recorder;
+
+    #[test]
+    fn groups_by_path_and_indents_children() {
+        let rec = Recorder::enabled();
+        for _ in 0..3 {
+            let _outer = rec.span("outer");
+            let _inner = rec.span("inner");
+        }
+        rec.counter_add("things", 42);
+        let text = summarize(&rec.snapshot());
+        let outer_line = text.lines().find(|l| l.trim_start().starts_with("outer")).unwrap();
+        let inner_line = text.lines().find(|l| l.trim_start().starts_with("inner")).unwrap();
+        assert!(outer_line.starts_with("outer"));
+        assert!(inner_line.starts_with("  inner"), "child should be indented: {inner_line:?}");
+        assert!(outer_line.split_whitespace().any(|w| w == "3"));
+        assert!(text.contains("things"));
+        assert!(text.contains("42"));
+    }
+
+    #[test]
+    fn self_time_excludes_children() {
+        use crate::{SpanEvent, Trace};
+        use std::borrow::Cow;
+        let mk = |name: &str, id, parent, begin_ns, end_ns| SpanEvent {
+            name: Cow::Owned(name.to_string()),
+            id,
+            parent,
+            tid: 1,
+            begin_ns,
+            end_ns,
+            args: vec![],
+        };
+        let trace = Trace {
+            events: vec![
+                mk("root", 1, None, 0, 10_000_000),            // 10 ms inclusive
+                mk("child", 2, Some(1), 1_000_000, 9_000_000), // 8 ms
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let text = summarize(&trace);
+        // Root self time = 10 - 8 = 2 ms = 2000 µs.
+        let root_line = text.lines().find(|l| l.starts_with("root")).unwrap();
+        assert!(root_line.contains("2000.0"), "expected 2000 µs self time: {root_line:?}");
+    }
+
+    #[test]
+    fn orphan_parents_are_grouped_not_crashed() {
+        use crate::{SpanEvent, Trace};
+        use std::borrow::Cow;
+        let trace = Trace {
+            events: vec![SpanEvent {
+                name: Cow::Borrowed("lost"),
+                id: 5,
+                parent: Some(999),
+                tid: 1,
+                begin_ns: 0,
+                end_ns: 10,
+                args: vec![],
+            }],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let text = summarize(&trace);
+        assert!(text.contains("lost"));
+    }
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile_ns(&sorted, 50.0), 50);
+        assert_eq!(percentile_ns(&sorted, 99.0), 99);
+        assert_eq!(percentile_ns(&[7], 99.0), 7);
+        assert_eq!(percentile_ns(&[], 50.0), 0);
+    }
+}

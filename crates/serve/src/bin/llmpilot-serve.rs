@@ -3,92 +3,70 @@
 //! ```text
 //! llmpilot-serve --data perf.csv [--addr 127.0.0.1:8008] [--workers 4]
 //!                [--queue 128] [--cache 4096] [--watch-secs 2]
+//!                [--trace-out trace.json] [--trace-summary]
 //! ```
 //!
 //! Endpoints: `GET /recommend?model=NAME&users=N&ttft=MS&itl=MS`,
 //! `POST /reload`, `GET /metrics`, `GET /healthz`.
 
-use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
 use std::time::Duration;
 
+use llmpilot_cli::Command;
+use llmpilot_obs::Recorder;
 use llmpilot_serve::{ServeConfig, Server};
-
-fn usage() -> ! {
-    eprintln!(
-        "usage: llmpilot-serve --data FILE [--addr HOST:PORT] [--workers N]\n       \
-         [--queue N] [--cache N] [--watch-secs S]"
-    );
-    exit(2)
-}
-
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        let Some(key) = args[i].strip_prefix("--") else {
-            eprintln!("unexpected argument {:?}", args[i]);
-            usage();
-        };
-        if i + 1 >= args.len() {
-            eprintln!("missing value for --{key}");
-            usage();
-        }
-        flags.insert(key.to_string(), args[i + 1].clone());
-        i += 2;
-    }
-    flags
-}
-
-fn numeric_flag<T: std::str::FromStr>(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: T,
-    check: impl Fn(&T) -> bool,
-    constraint: &str,
-) -> T {
-    match flags.get(key) {
-        None => default,
-        Some(raw) => match raw.parse::<T>() {
-            Ok(v) if check(&v) => v,
-            _ => {
-                eprintln!("--{key} must be {constraint}, got {raw:?}");
-                usage()
-            }
-        },
-    }
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let flags = parse_flags(&args);
-    let Some(data) = flags.get("data") else {
-        eprintln!("missing required --data");
-        usage()
-    };
-
-    let mut config = ServeConfig::new(data);
-    if let Some(addr) = flags.get("addr") {
-        config.addr = addr.clone();
-    }
-    config.workers = numeric_flag(&flags, "workers", config.workers, |&v| v >= 1, "at least 1");
-    config.queue_capacity =
-        numeric_flag(&flags, "queue", config.queue_capacity, |&v| v >= 1, "at least 1");
-    config.cache_capacity =
-        numeric_flag(&flags, "cache", config.cache_capacity, |_| true, "a non-negative count");
-    let watch_secs: f64 = numeric_flag(
-        &flags,
+    let mut cmd = Command::new("llmpilot-serve", "the online GPU-recommendation daemon");
+    let data = cmd.required::<String>("data", "FILE", "characterization dataset CSV");
+    let addr = cmd.flag("addr", "HOST:PORT", "listen address", "127.0.0.1:8008".to_string());
+    let workers =
+        cmd.flag_checked("workers", "N", "worker threads", 4usize, |v| *v >= 1, "at least 1");
+    let queue = cmd.flag_checked(
+        "queue",
+        "N",
+        "admission queue capacity",
+        128usize,
+        |v| *v >= 1,
+        "at least 1",
+    );
+    let cache = cmd.flag("cache", "N", "response cache capacity", 4096usize);
+    let watch_secs = cmd.flag_checked(
         "watch-secs",
-        2.0,
-        |&v| v.is_finite() && v >= 0.0,
+        "S",
+        "dataset mtime watch interval (0 disables)",
+        2.0f64,
+        |v| v.is_finite() && *v >= 0.0,
         "a non-negative number of seconds",
     );
+    let trace_out = cmd.optional::<PathBuf>(
+        "trace-out",
+        "FILE",
+        "write a Chrome trace_event JSON at graceful shutdown",
+    );
+    let trace_summary = cmd.switch("trace-summary", "print a span summary at graceful shutdown");
+    let p = cmd.parse_or_exit(&args);
+
+    let data = p.get(&data);
+    let mut config = ServeConfig::new(&data);
+    config.addr = p.get(&addr);
+    config.workers = p.get(&workers);
+    config.queue_capacity = p.get(&queue);
+    config.cache_capacity = p.get(&cache);
+    let watch_secs = p.get(&watch_secs);
     config.watch_interval =
         if watch_secs > 0.0 { Some(Duration::from_secs_f64(watch_secs)) } else { None };
+    config.trace_out = p.get(&trace_out);
+    config.trace_summary = p.get(&trace_summary);
+    if config.trace_out.is_some() || config.trace_summary {
+        config.recorder = Recorder::enabled();
+    }
 
     eprintln!("loading dataset and training the initial model...");
     let handle = Server::start(config).unwrap_or_else(|e| {
-        eprintln!("llmpilot-serve failed to start: {e}");
+        eprintln!("error: {e}");
         exit(1)
     });
     println!("llmpilot-serve listening on http://{}", handle.addr());

@@ -73,6 +73,7 @@ pub struct Metrics {
     latency_overflow: AtomicU64,
     latency_sum_us: AtomicU64,
     latency_count: AtomicU64,
+    trace_spans: AtomicU64,
 }
 
 impl Metrics {
@@ -147,6 +148,12 @@ impl Metrics {
     /// Set the dataset-generation gauge (used at startup).
     pub fn set_dataset_generation(&self, generation: u64) {
         self.dataset_generation.store(generation, Ordering::Relaxed);
+    }
+
+    /// Set the trace-span gauge (total spans recorded by the daemon's
+    /// tracing recorder; stays 0 when tracing is disabled).
+    pub fn set_trace_spans(&self, spans: u64) {
+        self.trace_spans.store(spans, Ordering::Relaxed);
     }
 
     /// Total requests observed on one route.
@@ -225,6 +232,10 @@ impl Metrics {
         out.push_str("# HELP llmpilot_model_generation Generation of the live model.\n");
         out.push_str("# TYPE llmpilot_model_generation gauge\n");
         let _ = writeln!(out, "llmpilot_model_generation {}", g(&self.model_generation));
+
+        out.push_str("# HELP llmpilot_trace_spans_total Spans recorded by the tracing recorder.\n");
+        out.push_str("# TYPE llmpilot_trace_spans_total counter\n");
+        let _ = writeln!(out, "llmpilot_trace_spans_total {}", g(&self.trace_spans));
 
         out.push_str("# HELP llmpilot_reloads_total Successful dataset reloads.\n");
         out.push_str("# TYPE llmpilot_reloads_total counter\n");

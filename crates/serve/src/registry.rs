@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex, RwLock};
 use llmpilot_core::{
     CharacterizationDataset, CoreError, LatencyConstraints, PredictorConfig, ServingModel,
 };
+use llmpilot_obs::Recorder;
 
 /// One immutable trained model plus its provenance.
 #[derive(Debug)]
@@ -34,6 +35,7 @@ pub struct ModelRegistry {
     next_generation: AtomicU64,
     constraints: LatencyConstraints,
     config: PredictorConfig,
+    recorder: Recorder,
 }
 
 impl ModelRegistry {
@@ -46,7 +48,15 @@ impl ModelRegistry {
             next_generation: AtomicU64::new(1),
             constraints,
             config,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Record every (re)training run on `recorder` (`serve.retrain` spans
+    /// with the GBDT phase spans nested beneath).
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
     }
 
     /// The live model, if one has been trained. Cheap `Arc` clone.
@@ -70,8 +80,12 @@ impl ModelRegistry {
                 return Ok(live.model_generation);
             }
         }
-        let serving = ServingModel::train(dataset, &self.constraints, &self.config)?;
+        let mut retrain_span =
+            self.recorder.span("serve.retrain").arg("dataset_generation", dataset_generation);
+        let serving =
+            ServingModel::train_traced(dataset, &self.constraints, &self.config, &self.recorder)?;
         let model_generation = self.next_generation.fetch_add(1, Ordering::Relaxed);
+        retrain_span.set_arg("model_generation", model_generation);
         let trained = Arc::new(TrainedModel { serving, dataset_generation, model_generation });
         *self.live.write().expect("model registry lock poisoned") = Some(trained);
         Ok(model_generation)

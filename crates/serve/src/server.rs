@@ -15,7 +15,7 @@
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -24,6 +24,7 @@ use std::time::{Duration, Instant};
 use llmpilot_core::{
     online_predictor_config, CoreError, LatencyConstraints, PredictorConfig, RecommendationRequest,
 };
+use llmpilot_obs::Recorder;
 
 use crate::cache::LruCache;
 use crate::http::{json_escape, parse_request, Limits, Request, Response};
@@ -89,6 +90,16 @@ pub struct ServeConfig {
     pub read_timeout: Duration,
     /// Maximum requests served on one keep-alive connection.
     pub max_requests_per_connection: u32,
+    /// Observability sink: request handling and retraining record spans
+    /// here. Disabled by default; every response carries an `X-Trace-Id`
+    /// header regardless.
+    pub recorder: Recorder,
+    /// Write a Chrome-trace JSON snapshot of the recorder here on graceful
+    /// shutdown (`None` disables; meaningless unless `recorder` is
+    /// enabled).
+    pub trace_out: Option<PathBuf>,
+    /// Print a hierarchical span summary to stderr at shutdown.
+    pub trace_summary: bool,
 }
 
 impl ServeConfig {
@@ -106,6 +117,9 @@ impl ServeConfig {
             limits: Limits::default(),
             read_timeout: Duration::from_secs(5),
             max_requests_per_connection: 10_000,
+            recorder: Recorder::disabled(),
+            trace_out: None,
+            trace_summary: false,
         }
     }
 }
@@ -125,6 +139,9 @@ struct Ctx {
     cache: Mutex<LruCache<CacheKey, String>>,
     config: ServeConfig,
     shutdown: AtomicBool,
+    /// Monotone request ids, issued even when tracing is disabled so every
+    /// response carries a usable `X-Trace-Id`.
+    next_trace_id: AtomicU64,
 }
 
 /// Handle to a running daemon; dropping it does NOT stop the server —
@@ -156,6 +173,18 @@ impl ServerHandle {
         for t in self.threads {
             let _ = t.join();
         }
+        if self.ctx.config.trace_out.is_some() || self.ctx.config.trace_summary {
+            let trace = self.ctx.config.recorder.snapshot();
+            if let Some(path) = &self.ctx.config.trace_out {
+                let json = llmpilot_obs::chrome::to_chrome_json(&trace);
+                if let Err(e) = std::fs::write(path, json) {
+                    eprintln!("warning: failed to write trace to {path:?}: {e}");
+                }
+            }
+            if self.ctx.config.trace_summary {
+                eprint!("{}", llmpilot_obs::summary::summarize(&trace));
+            }
+        }
     }
 }
 
@@ -167,7 +196,8 @@ impl Server {
     /// listener and spin up the acceptor/worker/watcher threads.
     pub fn start(config: ServeConfig) -> Result<ServerHandle, ServeError> {
         let store = DatasetStore::open(&config.data_path)?;
-        let registry = ModelRegistry::new(config.train_constraints, config.predictor.clone());
+        let registry = ModelRegistry::new(config.train_constraints, config.predictor.clone())
+            .with_recorder(config.recorder.clone());
         let metrics = Metrics::new();
 
         let (dataset, generation) = store.snapshot();
@@ -186,6 +216,7 @@ impl Server {
             cache,
             config,
             shutdown: AtomicBool::new(false),
+            next_trace_id: AtomicU64::new(1),
         });
 
         let (tx, rx) = std::sync::mpsc::sync_channel::<TcpStream>(ctx.config.queue_capacity);
@@ -248,9 +279,11 @@ fn acceptor_loop(ctx: &Ctx, listener: &TcpListener, tx: SyncSender<TcpStream>) {
             Err(TrySendError::Full(mut stream)) => {
                 ctx.metrics.record_rejected();
                 ctx.metrics.record_response(503);
+                let trace_id = ctx.next_trace_id.fetch_add(1, Ordering::Relaxed);
                 let resp =
                     Response::json(503, "{\"error\":\"server overloaded, retry later\"}".into())
-                        .with_header("Retry-After", "1");
+                        .with_header("Retry-After", "1")
+                        .with_header("X-Trace-Id", format!("{trace_id:08x}"));
                 let _ = resp.write_to(&mut stream, false);
             }
             Err(TrySendError::Disconnected(_)) => return,
@@ -319,8 +352,21 @@ fn handle_connection(ctx: &Ctx, stream: TcpStream) {
             Ok(None) => return, // peer closed cleanly
             Ok(Some(request)) => {
                 served += 1;
+                let trace_id = ctx.next_trace_id.fetch_add(1, Ordering::Relaxed);
                 let started = Instant::now();
-                let response = route(ctx, &request);
+                let response = {
+                    let mut span = ctx
+                        .config
+                        .recorder
+                        .span("serve.request")
+                        .arg("trace_id", trace_id)
+                        .arg("method", request.method.clone())
+                        .arg("path", request.path.clone());
+                    let response = route(ctx, &request);
+                    span.set_arg("status", u64::from(response.status));
+                    response
+                };
+                let response = response.with_header("X-Trace-Id", format!("{trace_id:08x}"));
                 ctx.metrics.record_response(response.status);
                 ctx.metrics.record_latency(started.elapsed());
                 let keep_alive = request.keep_alive()
@@ -333,10 +379,13 @@ fn handle_connection(ctx: &Ctx, stream: TcpStream) {
             Err(e) => {
                 let status = e.status();
                 if status != 0 {
+                    let trace_id = ctx.next_trace_id.fetch_add(1, Ordering::Relaxed);
                     ctx.metrics.record_request(Route::Other);
                     ctx.metrics.record_response(status);
                     let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
-                    let _ = Response::json(status, body).write_to(&mut writer, false);
+                    let _ = Response::json(status, body)
+                        .with_header("X-Trace-Id", format!("{trace_id:08x}"))
+                        .write_to(&mut writer, false);
                 }
                 return;
             }
@@ -357,6 +406,7 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         }
         ("GET", "/metrics") => {
             ctx.metrics.record_request(Route::Metrics);
+            ctx.metrics.set_trace_spans(ctx.config.recorder.spans_recorded());
             Response::text(200, ctx.metrics.render())
         }
         ("GET", "/healthz") => {

@@ -15,6 +15,8 @@
 
 use std::collections::VecDeque;
 
+use llmpilot_obs::Recorder;
+
 use crate::error::SimError;
 use crate::memory::MemoryModel;
 use crate::perf_model::PerfModel;
@@ -118,6 +120,9 @@ pub struct Engine {
     running_weight: u64,
     total_tokens_emitted: u64,
     preemptions: u64,
+    /// Structured-trace sink; [`Recorder::disabled`] by default, so the
+    /// hot loop pays only an `Option` branch per phase.
+    recorder: Recorder,
 }
 
 impl Engine {
@@ -135,7 +140,23 @@ impl Engine {
             running_weight: 0,
             total_tokens_emitted: 0,
             preemptions: 0,
+            recorder: Recorder::disabled(),
         }
+    }
+
+    /// Attach a structured-trace recorder (builder style): every
+    /// subsequent [`Engine::step`] records `engine.step` spans with
+    /// admission/prefill/decode/preempt child phases, plus
+    /// `engine.steps` / `engine.tokens_emitted` / `engine.preemptions`
+    /// counters.
+    pub fn with_recorder(mut self, recorder: Recorder) -> Self {
+        self.recorder = recorder;
+        self
+    }
+
+    /// The attached trace recorder (disabled unless set).
+    pub fn recorder(&self) -> &Recorder {
+        &self.recorder
     }
 
     /// Switch the admission policy (builder style). The engine must be
@@ -312,22 +333,36 @@ impl Engine {
         if !self.has_work() {
             return result;
         }
+        let _step_span = self.recorder.span("engine.step");
+        self.recorder.counter_add("engine.steps", 1);
 
-        let admitted = self.admit();
+        let admitted = {
+            let _span = self.recorder.span("engine.admission");
+            self.admit()
+        };
 
         // Decode cost for the sequences that were already running.
-        let old_seqs: u32 = self.running.iter().map(|r| r.spec.batch_size).sum();
-        let kv_tokens: u64 = self.running.iter().map(|r| r.kv_tokens()).sum::<u64>()
-            + admitted.iter().map(|r| r.kv_tokens()).sum::<u64>();
-        let mut step_time =
-            if old_seqs > 0 { self.perf.decode_step_time(old_seqs, kv_tokens) } else { 0.0 };
+        let mut step_time = {
+            let _span = self.recorder.span("engine.decode");
+            let old_seqs: u32 = self.running.iter().map(|r| r.spec.batch_size).sum();
+            let kv_tokens: u64 = self.running.iter().map(|r| r.kv_tokens()).sum::<u64>()
+                + admitted.iter().map(|r| r.kv_tokens()).sum::<u64>();
+            if old_seqs > 0 {
+                self.perf.decode_step_time(old_seqs, kv_tokens)
+            } else {
+                0.0
+            }
+        };
         // Prompt-processing cost of every admitted request (its sequences
         // prefill together; cost is linear in the number of sequences).
         // Recomputed (preempted) requests re-prefill their prompt plus the
         // tokens already generated.
-        for r in &admitted {
-            step_time += self.perf.prefill_time(r.spec.input_tokens + r.generated)
-                * r.spec.batch_size as f64;
+        {
+            let _span = self.recorder.span("engine.prefill");
+            for r in &admitted {
+                step_time += self.perf.prefill_time(r.spec.input_tokens + r.generated)
+                    * r.spec.batch_size as f64;
+            }
         }
         let now = self.clock + step_time;
         self.clock = now;
@@ -376,8 +411,13 @@ impl Engine {
             }
         }
         if self.policy == AdmissionPolicy::PagedCurrent {
+            let _span = self.recorder.span("engine.preempt");
+            let before = self.preemptions;
             self.preempt_overflow();
+            self.recorder.counter_add("engine.preemptions", self.preemptions - before);
         }
+        let emitted: u64 = result.emissions.iter().map(|em| u64::from(em.count)).sum();
+        self.recorder.counter_add("engine.tokens_emitted", emitted);
         result
     }
 }
@@ -422,6 +462,52 @@ mod tests {
         assert_eq!(tokens, 5);
         assert_eq!(e.total_tokens_emitted(), 5);
         assert_eq!(e.running_weight(), 0);
+    }
+
+    #[test]
+    fn recorder_captures_step_phases() {
+        let rec = llmpilot_obs::Recorder::enabled();
+        let mut e = engine(100_000).with_recorder(rec.clone());
+        e.submit(RequestSpec::new(100, 5)).unwrap();
+        let mut steps = 0u64;
+        while e.has_work() {
+            e.step();
+            steps += 1;
+        }
+        let trace = rec.snapshot();
+        let count = |name: &str| trace.events.iter().filter(|ev| ev.name == name).count() as u64;
+        assert_eq!(count("engine.step"), steps);
+        assert_eq!(count("engine.admission"), steps);
+        assert_eq!(count("engine.decode"), steps);
+        assert_eq!(count("engine.prefill"), steps);
+        // Phases are children of their step span.
+        let step_ids: std::collections::HashSet<u64> =
+            trace.events.iter().filter(|ev| ev.name == "engine.step").map(|ev| ev.id).collect();
+        for ev in trace.events.iter().filter(|ev| ev.name != "engine.step") {
+            assert!(step_ids.contains(&ev.parent.expect("phase has a parent")));
+        }
+        assert!(trace.counters.iter().any(|(n, v)| n == "engine.steps" && *v == steps));
+        assert!(trace.counters.iter().any(|(n, v)| n == "engine.tokens_emitted" && *v == 5));
+    }
+
+    #[test]
+    fn disabled_recorder_leaves_results_identical() {
+        let run = |rec: llmpilot_obs::Recorder| {
+            let mut e = engine(600).with_recorder(rec);
+            for _ in 0..8 {
+                e.submit(RequestSpec::new(300, 100)).unwrap();
+            }
+            let mut times = Vec::new();
+            while e.has_work() {
+                for c in e.step().completions {
+                    times.push((c.time, c.id));
+                }
+            }
+            (times, e.clock())
+        };
+        let plain = run(llmpilot_obs::Recorder::disabled());
+        let traced = run(llmpilot_obs::Recorder::enabled());
+        assert_eq!(plain, traced, "instrumentation must not perturb the simulation");
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! can be constructed according to the given maximum batch weight", and a
 //! candidate weight is valid only if none of the corner batches OOMs.
 
+use llmpilot_obs::Recorder;
+
 use crate::error::SimError;
 use crate::fault::FaultPlan;
 use crate::memory::MemoryModel;
@@ -90,6 +92,20 @@ pub fn weight_is_valid(mem: &MemoryModel, w: u64, probes_evaluated: &mut u64) ->
 /// the workload generator can produce — if even that is invalid the
 /// deployment is infeasible and tuning fails (an × cell of Table III).
 pub fn tune_max_batch_weight(mem: &MemoryModel) -> Result<TuningOutcome, SimError> {
+    tune_max_batch_weight_traced(mem, &Recorder::disabled())
+}
+
+/// [`tune_max_batch_weight`] with structured tracing: records a
+/// `tuner.tune` span (args: LLM, profile) with `tuner.ramp` and
+/// `tuner.bisect` child phases, plus `tuner.probes` / `tuner.steps`
+/// counters. Tracing never changes the tuning result.
+pub fn tune_max_batch_weight_traced(
+    mem: &MemoryModel,
+    recorder: &Recorder,
+) -> Result<TuningOutcome, SimError> {
+    let _tune_span =
+        recorder.span("tuner.tune").arg("llm", mem.llm().name).arg("profile", mem.profile().name());
+
     let (cap_in, cap_out) = mem.largest_request();
     let lo_start = u64::from(cap_in) + u64::from(cap_out);
 
@@ -97,6 +113,7 @@ pub fn tune_max_batch_weight(mem: &MemoryModel) -> Result<TuningOutcome, SimErro
     let mut steps = 0u32;
 
     if !weight_is_valid(mem, lo_start, &mut probes) {
+        recorder.counter_add("tuner.probes", probes);
         return Err(SimError::TuningFailed {
             llm: mem.llm().name.to_string(),
             profile: mem.profile().name(),
@@ -106,38 +123,52 @@ pub fn tune_max_batch_weight(mem: &MemoryModel) -> Result<TuningOutcome, SimErro
     // Exponential ramp-up to bracket the boundary, then bisect.
     let mut lo = lo_start;
     let mut hi = lo_start;
-    loop {
-        let candidate = hi.saturating_mul(2);
-        steps += 1;
-        if weight_is_valid(mem, candidate, &mut probes) {
-            lo = candidate;
-            hi = candidate;
-        } else {
-            hi = candidate;
-            break;
+    {
+        let mut ramp_span = recorder.span("tuner.ramp");
+        loop {
+            let candidate = hi.saturating_mul(2);
+            steps += 1;
+            if weight_is_valid(mem, candidate, &mut probes) {
+                lo = candidate;
+                hi = candidate;
+            } else {
+                hi = candidate;
+                break;
+            }
+            // Memory is finite; the KV cache alone bounds the weight. If the
+            // ramp sails past this cap without ever hitting an invalid weight,
+            // the boundary cannot be bracketed and `lo` was never validated as
+            // *maximal* — report divergence instead of returning it.
+            if candidate > 1 << 40 {
+                ramp_span.set_arg("diverged", true);
+                drop(ramp_span);
+                recorder.counter_add("tuner.probes", probes);
+                recorder.counter_add("tuner.steps", u64::from(steps));
+                return Err(SimError::TuningDiverged {
+                    llm: mem.llm().name.to_string(),
+                    profile: mem.profile().name(),
+                    weight: lo,
+                });
+            }
         }
-        // Memory is finite; the KV cache alone bounds the weight. If the
-        // ramp sails past this cap without ever hitting an invalid weight,
-        // the boundary cannot be bracketed and `lo` was never validated as
-        // *maximal* — report divergence instead of returning it.
-        if candidate > 1 << 40 {
-            return Err(SimError::TuningDiverged {
-                llm: mem.llm().name.to_string(),
-                profile: mem.profile().name(),
-                weight: lo,
-            });
-        }
+        ramp_span.set_arg("bracket_lo", lo);
+        ramp_span.set_arg("bracket_hi", hi);
     }
     // Invariant: lo valid, hi invalid.
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        steps += 1;
-        if weight_is_valid(mem, mid, &mut probes) {
-            lo = mid;
-        } else {
-            hi = mid;
+    {
+        let _bisect_span = recorder.span("tuner.bisect");
+        while hi - lo > 1 {
+            let mid = lo + (hi - lo) / 2;
+            steps += 1;
+            if weight_is_valid(mem, mid, &mut probes) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
         }
     }
+    recorder.counter_add("tuner.probes", probes);
+    recorder.counter_add("tuner.steps", u64::from(steps));
 
     Ok(TuningOutcome { max_batch_weight: lo, search_steps: steps, probes_evaluated: probes })
 }
@@ -151,11 +182,27 @@ pub fn tune_max_batch_weight_faulty(
     plan: &FaultPlan,
     site: &str,
 ) -> Result<TuningOutcome, SimError> {
+    tune_max_batch_weight_faulty_traced(mem, plan, site, &Recorder::disabled())
+}
+
+/// [`tune_max_batch_weight_faulty`] with structured tracing; injected
+/// OOMs record a zero-work `tuner.tune` span flagged `injected_oom`.
+pub fn tune_max_batch_weight_faulty_traced(
+    mem: &MemoryModel,
+    plan: &FaultPlan,
+    site: &str,
+    recorder: &Recorder,
+) -> Result<TuningOutcome, SimError> {
     if plan.tuning_ooms(site) {
+        let _span = recorder
+            .span("tuner.tune")
+            .arg("llm", mem.llm().name)
+            .arg("profile", mem.profile().name())
+            .arg("injected_oom", true);
         let bound = mem.max_batch_weight_bound();
         return Err(SimError::OutOfMemory { running_weight: bound, max_batch_weight: bound });
     }
-    tune_max_batch_weight(mem)
+    tune_max_batch_weight_traced(mem, recorder)
 }
 
 #[cfg(test)]
@@ -265,6 +312,26 @@ mod tests {
             tune_max_batch_weight_faulty(&m, &FaultPlan::none(), "tune/x").unwrap(),
             tune_max_batch_weight(&m).unwrap()
         );
+    }
+
+    #[test]
+    fn traced_tuning_matches_untraced_and_records_phases() {
+        let m = mem(llama2_13b(), a100_80(), 1);
+        let rec = Recorder::enabled();
+        let traced = tune_max_batch_weight_traced(&m, &rec).unwrap();
+        assert_eq!(traced, tune_max_batch_weight(&m).unwrap());
+        let trace = rec.snapshot();
+        let find = |name: &str| trace.events.iter().find(|e| e.name == name);
+        let tune = find("tuner.tune").expect("tuner.tune span");
+        let ramp = find("tuner.ramp").expect("tuner.ramp span");
+        let bisect = find("tuner.bisect").expect("tuner.bisect span");
+        assert_eq!(ramp.parent, Some(tune.id));
+        assert_eq!(bisect.parent, Some(tune.id));
+        assert!(tune.args.iter().any(|(k, _)| k == "llm"));
+        assert!(trace
+            .counters
+            .iter()
+            .any(|(n, v)| n == "tuner.probes" && *v == traced.probes_evaluated));
     }
 
     #[test]

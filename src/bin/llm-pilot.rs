@@ -6,169 +6,187 @@
 //! llm-pilot workload    sample --model model.txt -n 10
 //! llm-pilot feasibility
 //! llm-pilot characterize --out data.csv [--duration 120] [--llm NAME]
+//!                       [--trace-out trace.json] [--trace-summary]
 //! llm-pilot recommend   --data data.csv --llm NAME [--users 200]
 //!                       [--nttft-ms 100] [--itl-ms 50]
 //! llm-pilot serve       --data data.csv [--addr 127.0.0.1:8008] [--workers 4]
 //!                       [--queue 128] [--cache 4096] [--watch-secs 2]
 //! ```
+//!
+//! Every subcommand declares typed flags via [`llm_pilot::cli`] (generated
+//! `--help`, exit 2 on usage errors) and reports runtime failures through
+//! [`llm_pilot::Error`] as one `error: …` line (exit 1).
 
-use std::collections::HashMap;
+use std::path::PathBuf;
 use std::process::exit;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use llm_pilot::core::baselines::{LlmPilotMethod, Method, MethodInput};
-use llm_pilot::core::recommend::{LatencyConstraints, RecommendationRequest};
-use llm_pilot::core::{CharacterizationDataset, CharacterizeConfig, SweepDriver, SweepOptions};
+use llm_pilot::cli::{Command, Flag, Parsed};
+use llm_pilot::core::recommend::{recommend, LatencyConstraints, RecommendationRequest};
+use llm_pilot::core::{
+    CharacterizationDataset, CharacterizeConfig, PerformancePredictor, PredictorConfig,
+    SweepDriver, SweepOptions,
+};
+use llm_pilot::obs::Recorder;
 use llm_pilot::sim::fault::{FaultConfig, FaultPlan};
 use llm_pilot::sim::gpu::paper_profiles;
 use llm_pilot::sim::llm::{llm_by_name, llm_catalog};
 use llm_pilot::sim::memory::{feasibility_matrix, MemoryConfig, MemoryModel};
 use llm_pilot::traces::{self, Param, TraceGenerator, TraceGeneratorConfig};
 use llm_pilot::workload::{WorkloadModel, WorkloadSampler};
+use llm_pilot::Error;
 
-fn usage() -> ! {
-    eprintln!(
-        "usage:\n  llm-pilot traces --requests N --out FILE\n  \
-         llm-pilot workload fit --traces FILE --out FILE\n  \
-         llm-pilot workload sample --model FILE [-n N]\n  \
-         llm-pilot feasibility\n  \
-         llm-pilot characterize --out FILE [--duration SECS] [--llm NAME]\n      \
-             [--journal FILE] [--retries N] [--fault-prob P] [--fault-seed S] [--max-steps N]\n  \
-         llm-pilot recommend --data FILE --llm NAME [--users N] [--nttft-ms MS] [--itl-ms MS]\n  \
-         llm-pilot serve --data FILE [--addr HOST:PORT] [--workers N] [--queue N]\n      \
-             [--cache N] [--watch-secs S]"
+const COMMANDS: &str = "\
+commands:
+  traces        generate synthetic production traces
+  workload      fit or sample the workload model (fit | sample)
+  feasibility   print the LLM x GPU memory-feasibility matrix
+  characterize  run the characterization sweep
+  recommend     recommend the cheapest deployment for one LLM
+  serve         run the online recommendation daemon";
+
+fn root_usage(code: i32) -> ! {
+    eprintln!("usage: llm-pilot <command> [flags]\n{COMMANDS}");
+    eprintln!("\nrun `llm-pilot <command> --help` for per-command flags");
+    exit(code)
+}
+
+// ---------------------------------------------------------------------------
+// Tracing flags, shared by the long-running subcommands.
+// ---------------------------------------------------------------------------
+
+/// Where a traced run should deliver its spans.
+struct TraceOpts {
+    recorder: Recorder,
+    out: Option<PathBuf>,
+    summary: bool,
+}
+
+fn trace_flags(cmd: &mut Command) -> (Flag<Option<PathBuf>>, Flag<bool>) {
+    let out = cmd.optional::<PathBuf>(
+        "trace-out",
+        "FILE",
+        "write a Chrome trace_event JSON of the run (open in about:tracing / Perfetto)",
     );
-    exit(2)
+    let summary =
+        cmd.switch("trace-summary", "print a hierarchical span summary when the run ends");
+    (out, summary)
 }
 
-/// Parse `--key value` pairs and positional words.
-fn parse_args(args: &[String]) -> (Vec<String>, HashMap<String, String>) {
-    let mut positional = Vec::new();
-    let mut flags = HashMap::new();
-    let mut i = 0;
-    while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 >= args.len() {
-                eprintln!("missing value for --{key}");
-                usage();
-            }
-            flags.insert(key.to_string(), args[i + 1].clone());
-            i += 2;
-        } else if let Some(key) = args[i].strip_prefix('-') {
-            if i + 1 >= args.len() {
-                eprintln!("missing value for -{key}");
-                usage();
-            }
-            flags.insert(key.to_string(), args[i + 1].clone());
-            i += 2;
-        } else {
-            positional.push(args[i].clone());
-            i += 1;
+fn trace_opts(parsed: &Parsed, out: Flag<Option<PathBuf>>, summary: Flag<bool>) -> TraceOpts {
+    let out = parsed.get(&out);
+    let summary = parsed.get(&summary);
+    let recorder =
+        if out.is_some() || summary { Recorder::enabled() } else { Recorder::disabled() };
+    TraceOpts { recorder, out, summary }
+}
+
+impl TraceOpts {
+    /// Export whatever the recorder captured. No-op when tracing is off.
+    fn finish(self) -> Result<(), Error> {
+        if self.out.is_none() && !self.summary {
+            return Ok(());
         }
-    }
-    (positional, flags)
-}
-
-fn flag<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> T {
-    match flags.get(key) {
-        Some(raw) => raw.parse().unwrap_or_else(|_| {
-            eprintln!("bad value for --{key}: {raw:?}");
-            usage()
-        }),
-        None => default,
+        let trace = self.recorder.snapshot();
+        if let Some(path) = &self.out {
+            std::fs::write(path, llm_pilot::obs::chrome::to_chrome_json(&trace))?;
+            eprintln!("wrote trace to {}", path.display());
+        }
+        if self.summary {
+            print!("{}", llm_pilot::obs::summary::summarize(&trace));
+        }
+        Ok(())
     }
 }
 
-fn required(flags: &HashMap<String, String>, key: &str) -> String {
-    flags.get(key).cloned().unwrap_or_else(|| {
-        eprintln!("missing required --{key}");
-        usage()
-    })
-}
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
 
-/// Parse `--key`, apply `check`, and exit with a clear message naming the
-/// violated `constraint` instead of propagating nonsense into the sweep.
-fn checked_flag<T: std::str::FromStr + Copy>(
-    flags: &HashMap<String, String>,
-    key: &str,
-    default: T,
-    check: impl Fn(T) -> bool,
-    constraint: &str,
-) -> T {
-    let value = flag(flags, key, default);
-    if !check(value) {
-        eprintln!(
-            "--{key} must be {constraint}, got {:?}",
-            flags.get(key).map(String::as_str).unwrap_or("<default>")
-        );
-        exit(2)
-    }
-    value
-}
+fn cmd_traces(args: &[String]) -> Result<(), Error> {
+    let mut cmd = Command::new("llm-pilot traces", "generate synthetic production traces");
+    let requests = cmd.flag("requests", "N", "number of requests", 100_000usize);
+    let out = cmd.required::<String>("out", "FILE", "output CSV path");
+    let seed = cmd.flag("seed", "S", "RNG seed", 0xC0FFEEu64);
+    let p = cmd.parse_or_exit(args);
 
-fn cmd_traces(flags: &HashMap<String, String>) {
-    let requests: usize = flag(flags, "requests", 100_000);
-    let out = required(flags, "out");
-    let seed: u64 = flag(flags, "seed", 0xC0FFEE);
+    let requests = p.get(&requests);
+    let out = p.get(&out);
     let ds = TraceGenerator::new(TraceGeneratorConfig {
         num_requests: requests,
-        seed,
+        seed: p.get(&seed),
         ..TraceGeneratorConfig::default()
     })
     .generate();
-    std::fs::write(&out, traces::to_csv(&ds)).expect("write traces CSV");
+    std::fs::write(&out, traces::to_csv(&ds))?;
     println!("wrote {requests} trace records to {out}");
+    Ok(())
 }
 
-fn cmd_workload(positional: &[String], flags: &HashMap<String, String>) {
-    match positional.first().map(String::as_str) {
-        Some("fit") => {
-            let traces_path = required(flags, "traces");
-            let out = required(flags, "out");
-            let text = std::fs::read_to_string(&traces_path).expect("read traces CSV");
-            let ds = traces::from_csv(&text).unwrap_or_else(|e| {
-                eprintln!("bad traces CSV: {e}");
-                exit(1)
-            });
-            let model = WorkloadModel::fit(&ds, &Param::core()).expect("non-empty traces");
-            println!(
-                "fitted: {} non-empty bins of {:.2e} possible ({} bytes)",
-                model.num_nonempty_bins(),
-                model.num_possible_bins(),
-                model.approx_size_bytes()
-            );
-            std::fs::write(&out, model.to_text()).expect("write model");
-            println!("wrote {out}");
+fn cmd_workload_fit(args: &[String]) -> Result<(), Error> {
+    let mut cmd = Command::new("llm-pilot workload fit", "fit the workload model to a trace CSV");
+    let traces_path = cmd.required::<String>("traces", "FILE", "input traces CSV");
+    let out = cmd.required::<String>("out", "FILE", "output model path");
+    let p = cmd.parse_or_exit(args);
+
+    let traces_path = p.get(&traces_path);
+    let out = p.get(&out);
+    let text = std::fs::read_to_string(&traces_path)?;
+    let ds = traces::from_csv(&text).map_err(|e| format!("bad traces CSV: {e}"))?;
+    let model = WorkloadModel::fit(&ds, &Param::core())?;
+    println!(
+        "fitted: {} non-empty bins of {:.2e} possible ({} bytes)",
+        model.num_nonempty_bins(),
+        model.num_possible_bins(),
+        model.approx_size_bytes()
+    );
+    std::fs::write(&out, model.to_text())?;
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_workload_sample(args: &[String]) -> Result<(), Error> {
+    let mut cmd = Command::new("llm-pilot workload sample", "sample requests from a fitted model");
+    let model_path = cmd.required::<String>("model", "FILE", "fitted model path");
+    let n = cmd.flag("n", "N", "number of samples", 10usize);
+    let seed = cmd.flag("seed", "S", "RNG seed", 7u64);
+    let p = cmd.parse_or_exit(args);
+
+    let text = std::fs::read_to_string(p.get(&model_path))?;
+    let model = WorkloadModel::from_text(&text)?;
+    let sampler = WorkloadSampler::new(model);
+    let mut rng = StdRng::seed_from_u64(p.get(&seed));
+    println!("input_tokens,output_tokens,batch_size");
+    for _ in 0..p.get(&n) {
+        let r = sampler.sample(&mut rng);
+        println!(
+            "{},{},{}",
+            r.input_tokens().unwrap_or(1),
+            r.output_tokens().unwrap_or(1),
+            r.batch_size().unwrap_or(1)
+        );
+    }
+    Ok(())
+}
+
+fn cmd_workload(args: &[String]) -> Result<(), Error> {
+    match args.first().map(String::as_str) {
+        Some("fit") => cmd_workload_fit(&args[1..]),
+        Some("sample") => cmd_workload_sample(&args[1..]),
+        _ => {
+            eprintln!("usage: llm-pilot workload <fit|sample> [flags]");
+            exit(2)
         }
-        Some("sample") => {
-            let model_path = required(flags, "model");
-            let n: usize = flag(flags, "n", 10);
-            let seed: u64 = flag(flags, "seed", 7);
-            let text = std::fs::read_to_string(&model_path).expect("read model");
-            let model = WorkloadModel::from_text(&text).unwrap_or_else(|e| {
-                eprintln!("bad model file: {e}");
-                exit(1)
-            });
-            let sampler = WorkloadSampler::new(model);
-            let mut rng = StdRng::seed_from_u64(seed);
-            println!("input_tokens,output_tokens,batch_size");
-            for _ in 0..n {
-                let r = sampler.sample(&mut rng);
-                println!(
-                    "{},{},{}",
-                    r.input_tokens().unwrap_or(1),
-                    r.output_tokens().unwrap_or(1),
-                    r.batch_size().unwrap_or(1)
-                );
-            }
-        }
-        _ => usage(),
     }
 }
 
-fn cmd_feasibility() {
+fn cmd_feasibility(args: &[String]) -> Result<(), Error> {
+    let cmd =
+        Command::new("llm-pilot feasibility", "print the LLM x GPU memory-feasibility matrix");
+    let _ = cmd.parse_or_exit(args);
+
     let llms = llm_catalog();
     let profiles = paper_profiles();
     let matrix = feasibility_matrix(&llms, &profiles, &MemoryConfig::default());
@@ -184,6 +202,7 @@ fn cmd_feasibility() {
         }
         println!();
     }
+    Ok(())
 }
 
 fn build_sampler(seed: u64) -> WorkloadSampler {
@@ -196,139 +215,180 @@ fn build_sampler(seed: u64) -> WorkloadSampler {
     WorkloadSampler::new(WorkloadModel::fit(&ds, &Param::core()).expect("non-empty traces"))
 }
 
-fn cmd_characterize(flags: &HashMap<String, String>) {
-    let out = required(flags, "out");
-    let duration: f64 = checked_flag(
-        flags,
+fn cmd_characterize(args: &[String]) -> Result<(), Error> {
+    let mut cmd = Command::new("llm-pilot characterize", "run the characterization sweep");
+    let out = cmd.required::<String>("out", "FILE", "output dataset CSV path");
+    let duration = cmd.flag_checked(
         "duration",
-        120.0,
-        |v: f64| v.is_finite() && v > 0.0,
+        "SECS",
+        "virtual seconds per load test",
+        120.0f64,
+        |v| v.is_finite() && *v > 0.0,
         "a positive number of seconds",
     );
-    let sampler = build_sampler(flag(flags, "seed", 0xC0FFEE));
-    let llms = match flags.get("llm") {
-        Some(name) => vec![llm_by_name(name).unwrap_or_else(|| {
-            eprintln!("unknown LLM {name:?}");
-            exit(1)
-        })],
-        None => llm_catalog(),
-    };
-    let config = CharacterizeConfig { duration_s: duration, ..CharacterizeConfig::default() };
-
-    let fault_prob: f64 = checked_flag(
-        flags,
+    let seed = cmd.flag("seed", "S", "workload RNG seed", 0xC0FFEEu64);
+    let llm = cmd.optional::<String>("llm", "NAME", "restrict the sweep to one LLM");
+    let journal = cmd.optional::<PathBuf>("journal", "FILE", "resumable sweep journal path");
+    let retries = cmd.flag_checked(
+        "retries",
+        "N",
+        "load-test attempts per cell",
+        3u32,
+        |v| *v >= 1,
+        "a nonzero retry budget",
+    );
+    let fault_prob = cmd.flag_checked(
         "fault-prob",
-        0.0,
-        |v: f64| (0.0..=1.0).contains(&v),
+        "P",
+        "per-load-test transient fault probability",
+        0.0f64,
+        |v| (0.0..=1.0).contains(v),
         "a probability in [0, 1]",
     );
+    let fault_seed = cmd.flag("fault-seed", "S", "fault-injection seed", 1u64);
+    let max_steps = cmd.optional::<u64>("max-steps", "N", "step budget per cell");
+    let (trace_out, trace_summary) = trace_flags(&mut cmd);
+    let p = cmd.parse_or_exit(args);
+
+    let topts = trace_opts(&p, trace_out, trace_summary);
+    let sampler = build_sampler(p.get(&seed));
+    let llms = match p.get(&llm) {
+        Some(name) => {
+            vec![llm_by_name(&name).ok_or_else(|| format!("unknown LLM {name:?}"))?]
+        }
+        None => llm_catalog(),
+    };
+    let config =
+        CharacterizeConfig { duration_s: p.get(&duration), ..CharacterizeConfig::default() };
+
+    let fault_prob = p.get(&fault_prob);
     let plan = if fault_prob > 0.0 {
-        FaultPlan::new(FaultConfig::transient(flag(flags, "fault-seed", 1), fault_prob))
+        FaultPlan::new(FaultConfig::transient(p.get(&fault_seed), fault_prob))
     } else {
         FaultPlan::none()
     };
-    let max_steps = flags
-        .get("max-steps")
-        .map(|_| checked_flag(flags, "max-steps", 1u64, |v| v >= 1, "a nonzero step budget"));
     let options = SweepOptions {
         plan,
-        max_attempts: checked_flag(flags, "retries", 3u32, |v| v >= 1, "a nonzero retry budget"),
-        journal_path: flags.get("journal").map(std::path::PathBuf::from),
-        max_steps_per_cell: max_steps,
+        max_attempts: p.get(&retries),
+        journal_path: p.get(&journal),
+        max_steps_per_cell: p.get(&max_steps),
+        recorder: topts.recorder.clone(),
         ..SweepOptions::default()
     };
     let profiles = paper_profiles();
-    let driver = SweepDriver::new(&llms, &profiles, &sampler, config, options);
-    let (ds, report) = driver.run().unwrap_or_else(|e| {
-        eprintln!("sweep failed: {e}");
-        exit(1)
-    });
+    let driver =
+        SweepDriver::builder(&llms, &profiles, &sampler).config(config).options(options).build()?;
+    let (ds, report) = driver.run()?;
     print!("{report}");
     println!("{} rows over {} measured cells", ds.len(), ds.tuned_weights.len());
-    std::fs::write(&out, ds.to_csv()).expect("write dataset CSV");
+    let out = p.get(&out);
+    std::fs::write(&out, ds.to_csv())?;
     println!("wrote {out}");
+    topts.finish()
 }
 
-fn cmd_recommend(flags: &HashMap<String, String>) {
-    let data = required(flags, "data");
-    let llm_name = required(flags, "llm");
-    let users: u32 = flag(flags, "users", 200);
-    let nttft_ms: f64 = flag(flags, "nttft-ms", 100.0);
-    let itl_ms: f64 = flag(flags, "itl-ms", 50.0);
+fn cmd_recommend(args: &[String]) -> Result<(), Error> {
+    let mut cmd =
+        Command::new("llm-pilot recommend", "recommend the cheapest deployment for one LLM");
+    let data = cmd.required::<String>("data", "FILE", "characterization dataset CSV");
+    let llm = cmd.required::<String>("llm", "NAME", "the LLM to deploy");
+    let users = cmd.flag("users", "N", "total concurrent users", 200u32);
+    let nttft_ms = cmd.flag("nttft-ms", "MS", "normalized time-to-first-token SLA", 100.0f64);
+    let itl_ms = cmd.flag("itl-ms", "MS", "inter-token latency SLA", 50.0f64);
+    let (trace_out, trace_summary) = trace_flags(&mut cmd);
+    let p = cmd.parse_or_exit(args);
 
-    let Some(llm) = llm_by_name(&llm_name) else {
-        eprintln!("unknown LLM {llm_name:?}");
-        exit(1)
-    };
-    let text = std::fs::read_to_string(&data).expect("read dataset CSV");
-    let dataset = CharacterizationDataset::from_csv(&text).unwrap_or_else(|e| {
-        eprintln!("bad dataset CSV: {e}");
-        exit(1)
-    });
+    let topts = trace_opts(&p, trace_out, trace_summary);
+    let llm_name = p.get(&llm);
+    let llm = llm_by_name(&llm_name).ok_or_else(|| format!("unknown LLM {llm_name:?}"))?;
+    let text = std::fs::read_to_string(p.get(&data))?;
+    let dataset =
+        CharacterizationDataset::from_csv(&text).map_err(|e| format!("bad dataset CSV: {e}"))?;
     let train_rows: Vec<_> = dataset.rows_excluding_llm(&llm_name);
     if train_rows.is_empty() {
-        eprintln!("dataset has no rows from other LLMs to learn from");
-        exit(1)
+        return Err("dataset has no rows from other LLMs to learn from".to_string().into());
     }
     let request = RecommendationRequest {
-        total_users: users,
-        constraints: LatencyConstraints { nttft_s: nttft_ms / 1e3, itl_s: itl_ms / 1e3 },
+        total_users: p.get(&users),
+        constraints: LatencyConstraints {
+            nttft_s: p.get(&nttft_ms) / 1e3,
+            itl_s: p.get(&itl_ms) / 1e3,
+        },
         user_grid: (0..8).map(|i| 1u32 << i).collect(),
     };
     let candidates: Vec<_> = paper_profiles()
         .into_iter()
-        .filter(|p| {
-            MemoryModel::new(llm.clone(), p.clone(), MemoryConfig::default())
+        .filter(|profile| {
+            MemoryModel::new(llm.clone(), profile.clone(), MemoryConfig::default())
                 .feasibility()
                 .is_feasible()
         })
         .collect();
-    let input = MethodInput {
-        train_rows,
-        test_llm: &llm,
-        reference_rows: vec![],
-        profiles: &candidates,
-        request: &request,
-    };
-    match LlmPilotMethod::untuned().recommend(&input) {
-        Ok(rec) => println!(
-            "{}: {} pods of {} (predicted {} users/pod), ${:.2}/h",
-            llm.name, rec.pods, rec.profile, rec.u_max, rec.cost_per_hour
-        ),
-        Err(e) => {
-            eprintln!("no feasible recommendation: {e}");
-            exit(1)
-        }
-    }
+
+    // The LLM-Pilot method without inner HP tuning: train on every other
+    // LLM's rows, predict over the user grid, solve Eq. (1)–(3).
+    let _run_span = topts.recorder.span("recommend.run").arg("llm", llm.name);
+    let predictor = PerformancePredictor::train_traced(
+        &train_rows,
+        &request.constraints,
+        &PredictorConfig::default(),
+        &topts.recorder,
+    )?;
+    let rec =
+        recommend(&candidates, &request, |profile, u| Some(predictor.predict(&llm, profile, u)))?;
+    println!(
+        "{}: {} pods of {} (predicted {} users/pod), ${:.2}/h",
+        llm.name, rec.pods, rec.profile, rec.u_max, rec.cost_per_hour
+    );
+    drop(_run_span);
+    topts.finish()
 }
 
-fn cmd_serve(flags: &HashMap<String, String>) {
-    let data = required(flags, "data");
-    let mut config = llm_pilot::serve::ServeConfig::new(&data);
-    if let Some(addr) = flags.get("addr") {
-        config.addr = addr.clone();
-    }
-    config.workers = checked_flag(flags, "workers", config.workers, |v| v >= 1, "at least 1");
-    config.queue_capacity =
-        checked_flag(flags, "queue", config.queue_capacity, |v| v >= 1, "at least 1");
-    config.cache_capacity =
-        checked_flag(flags, "cache", config.cache_capacity, |_| true, "a non-negative count");
-    let watch_secs: f64 = checked_flag(
-        flags,
+fn cmd_serve(args: &[String]) -> Result<(), Error> {
+    let mut cmd = Command::new("llm-pilot serve", "run the online recommendation daemon");
+    let data = cmd.required::<String>("data", "FILE", "characterization dataset CSV");
+    let addr = cmd.flag("addr", "HOST:PORT", "listen address", "127.0.0.1:8008".to_string());
+    let workers =
+        cmd.flag_checked("workers", "N", "worker threads", 4usize, |v| *v >= 1, "at least 1");
+    let queue = cmd.flag_checked(
+        "queue",
+        "N",
+        "admission queue capacity",
+        128usize,
+        |v| *v >= 1,
+        "at least 1",
+    );
+    let cache = cmd.flag("cache", "N", "response cache capacity", 4096usize);
+    let watch_secs = cmd.flag_checked(
         "watch-secs",
-        2.0,
-        |v: f64| v.is_finite() && v >= 0.0,
+        "S",
+        "dataset mtime watch interval (0 disables)",
+        2.0f64,
+        |v| v.is_finite() && *v >= 0.0,
         "a non-negative number of seconds",
     );
+    let (trace_out, trace_summary) = trace_flags(&mut cmd);
+    let p = cmd.parse_or_exit(args);
+
+    let topts = trace_opts(&p, trace_out, trace_summary);
+    let data = p.get(&data);
+    let mut config = llm_pilot::serve::ServeConfig::new(&data);
+    config.addr = p.get(&addr);
+    config.workers = p.get(&workers);
+    config.queue_capacity = p.get(&queue);
+    config.cache_capacity = p.get(&cache);
+    let watch_secs = p.get(&watch_secs);
     config.watch_interval =
         (watch_secs > 0.0).then(|| std::time::Duration::from_secs_f64(watch_secs));
+    config.recorder = topts.recorder.clone();
+    config.trace_out = topts.out.clone();
+    config.trace_summary = topts.summary;
 
     eprintln!("loading {data} and training the initial model...");
-    let handle = llm_pilot::serve::Server::start(config).unwrap_or_else(|e| {
-        eprintln!("serve failed to start: {e}");
-        exit(1)
-    });
+    let handle = llm_pilot::serve::Server::start(config)?;
     println!("llm-pilot serving recommendations on http://{}", handle.addr());
+    // Serve until killed; the trace (if any) is exported on graceful
+    // shutdown by embedders holding the handle.
     loop {
         std::thread::park();
     }
@@ -336,15 +396,27 @@ fn cmd_serve(flags: &HashMap<String, String>) {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(command) = args.first().cloned() else { usage() };
-    let (positional, flags) = parse_args(&args[1..]);
-    match command.as_str() {
-        "traces" => cmd_traces(&flags),
-        "workload" => cmd_workload(&positional, &flags),
-        "feasibility" => cmd_feasibility(),
-        "characterize" => cmd_characterize(&flags),
-        "recommend" => cmd_recommend(&flags),
-        "serve" => cmd_serve(&flags),
-        _ => usage(),
+    let Some(command) = args.first().cloned() else { root_usage(2) };
+    let rest = &args[1..];
+    let result = match command.as_str() {
+        "traces" => cmd_traces(rest),
+        "workload" => cmd_workload(rest),
+        "feasibility" => cmd_feasibility(rest),
+        "characterize" => cmd_characterize(rest),
+        "recommend" => cmd_recommend(rest),
+        "serve" => cmd_serve(rest),
+        "--help" | "-h" | "help" => {
+            println!("usage: llm-pilot <command> [flags]\n{COMMANDS}");
+            println!("\nrun `llm-pilot <command> --help` for per-command flags");
+            return;
+        }
+        other => {
+            eprintln!("error: unknown command {other:?}");
+            root_usage(2)
+        }
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        exit(1)
     }
 }

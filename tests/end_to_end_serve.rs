@@ -218,6 +218,74 @@ fn serve_end_to_end_with_hot_reload_under_concurrent_load() {
 }
 
 #[test]
+fn serve_issues_trace_ids_and_writes_a_chrome_trace_at_shutdown() {
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let data_path = dir.join(format!("llmpilot-e2e-trace-{pid}.csv"));
+    let trace_path = dir.join(format!("llmpilot-e2e-trace-{pid}.json"));
+    std::fs::write(&data_path, dataset_v1().to_csv()).unwrap();
+
+    let recorder = llm_pilot::obs::Recorder::enabled();
+    let mut config = ServeConfig::new(&data_path);
+    config.addr = "127.0.0.1:0".into();
+    config.workers = 2;
+    config.watch_interval = None;
+    config.predictor = fast_predictor();
+    config.recorder = recorder.clone();
+    config.trace_out = Some(trace_path.clone());
+    let handle = Server::start(config).expect("server should start");
+    let addr = handle.addr();
+
+    // Every response carries a unique X-Trace-Id, across routes and
+    // status codes (including errors).
+    let mut trace_ids = Vec::new();
+    for target in ["/healthz", "/recommend?model=Llama-2-13b", "/recommend", "/nope"] {
+        let resp = http_request(addr, "GET", target).unwrap();
+        let id = resp
+            .header("x-trace-id")
+            .unwrap_or_else(|| panic!("{target} response must carry X-Trace-Id"))
+            .to_string();
+        assert!(
+            id.len() >= 8 && id.chars().all(|c| c.is_ascii_hexdigit()),
+            "trace id {id:?} for {target} is not hex"
+        );
+        trace_ids.push(id);
+    }
+    let unique: std::collections::HashSet<_> = trace_ids.iter().collect();
+    assert_eq!(unique.len(), trace_ids.len(), "trace ids must be unique: {trace_ids:?}");
+
+    // The recorder saw the request spans plus the startup retraining, and
+    // the /metrics scrape surfaces the span count as a gauge-style counter.
+    let scrape = http_request(addr, "GET", "/metrics").unwrap();
+    assert_eq!(scrape.status, 200);
+    let text = scrape.text();
+    let spans = metric_value(&text, "llmpilot_trace_spans_total")
+        .expect("llmpilot_trace_spans_total must be exported");
+    assert!(spans >= 4.0, "expected at least the four request spans, got {spans}");
+
+    handle.shutdown();
+
+    // Shutdown flushed a valid Chrome trace containing the request spans
+    // and the startup `serve.retrain` with the training phases beneath it.
+    let document = std::fs::read_to_string(&trace_path).expect("trace file written at shutdown");
+    let stats = llm_pilot::obs::check::check_chrome_trace(
+        &document,
+        &["serve.request", "serve.retrain", "serving.train", "gbdt.fit"],
+    )
+    .expect("trace must validate");
+    assert!(stats.span_events >= 4, "expected request + retrain spans, got {}", stats.span_events);
+
+    let snapshot = recorder.snapshot();
+    let requests = snapshot.events.iter().filter(|s| s.name == "serve.request").count();
+    assert_eq!(requests, 5, "four probes plus the /metrics scrape");
+    let retrains = snapshot.events.iter().filter(|s| s.name == "serve.retrain").count();
+    assert_eq!(retrains, 1, "exactly one startup training run");
+
+    std::fs::remove_file(&data_path).ok();
+    std::fs::remove_file(&trace_path).ok();
+}
+
+#[test]
 fn serve_admission_control_rejects_when_queue_is_full() {
     let dir = std::env::temp_dir();
     let data_path = dir.join(format!("llmpilot-e2e-admit-{}.csv", std::process::id()));

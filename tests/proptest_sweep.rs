@@ -58,7 +58,10 @@ fn clean_dataset() -> &'static CharacterizationDataset {
     static CLEAN: OnceLock<CharacterizationDataset> = OnceLock::new();
     CLEAN.get_or_init(|| {
         let (llms, profiles) = grid();
-        SweepDriver::new(&llms, &profiles, sampler(), quick_config(), SweepOptions::default())
+        SweepDriver::builder(&llms, &profiles, sampler())
+            .config(quick_config())
+            .build()
+            .expect("valid options")
             .run()
             .expect("no journal, no I/O")
             .0
@@ -89,7 +92,11 @@ proptest! {
             ..SweepOptions::default()
         };
         let (ds, report) =
-            SweepDriver::new(&llms, &profiles, sampler(), quick_config(), options)
+            SweepDriver::builder(&llms, &profiles, sampler())
+                .config(quick_config())
+                .options(options)
+                .build()
+                .expect("valid options")
                 .run()
                 .expect("no journal, no I/O");
         prop_assert_eq!(report.failed(), 0, "retries must recover every cell (seed {})", seed);
@@ -114,7 +121,11 @@ proptest! {
         };
 
         let (one_shot_ds, one_shot_report) =
-            SweepDriver::new(&llms, &profiles, sampler(), quick_config(), base.clone())
+            SweepDriver::builder(&llms, &profiles, sampler())
+                .config(quick_config())
+                .options(base.clone())
+                .build()
+                .expect("valid options")
                 .run()
                 .expect("no journal, no I/O");
 
@@ -124,7 +135,11 @@ proptest! {
             max_cells_per_run: Some(chunk),
             ..base
         };
-        let driver = SweepDriver::new(&llms, &profiles, sampler(), quick_config(), chunked);
+        let driver = SweepDriver::builder(&llms, &profiles, sampler())
+            .config(quick_config())
+            .options(chunked)
+            .build()
+            .expect("valid options");
         let mut rounds = 0;
         let (ds, report) = loop {
             let (ds, report) = driver.run().expect("journal I/O");
