@@ -4,9 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
+use std::sync::Arc;
 
 use llmpilot_obs::Recorder;
-use llmpilot_sim::engine::Engine;
+use llmpilot_sim::engine::{Engine, PhaseHists};
 use llmpilot_sim::gpu::{a100_80, GpuProfile};
 use llmpilot_sim::llm::llama2_13b;
 use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
@@ -62,5 +63,16 @@ fn bench_engine_recorder_overhead(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engine, bench_engine_recorder_overhead);
+/// Cost of the per-phase HDR histograms: an engine recording every
+/// prefill/decode duration into lock-free `Histogram`s vs. the plain
+/// engine. Recording is two atomic adds per step, so this should sit
+/// within a few percent of the `engine_step_no_recorder` group.
+fn bench_engine_phase_hists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_step_phase_hists");
+    let engine = engine_with_batch(32, None).with_phase_hists(Arc::new(PhaseHists::default()));
+    bench_batch(&mut group, 32, engine);
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine, bench_engine_recorder_overhead, bench_engine_phase_hists);
 criterion_main!(benches);

@@ -7,17 +7,19 @@
 //! normalized TTFT, inter-token latency and throughput. The grid sweep is
 //! embarrassingly parallel and runs cells across threads.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 
 use llmpilot_obs::Recorder;
-use llmpilot_sim::engine::Engine;
+use llmpilot_sim::engine::{Engine, PhaseHists};
 use llmpilot_sim::error::SimError;
 use llmpilot_sim::fault::FaultPlan;
 use llmpilot_sim::gpu::GpuProfile;
 use llmpilot_sim::llm::LlmSpec;
-use llmpilot_sim::load::{default_user_sweep, run_load_test_faulty, LoadTestConfig};
+use llmpilot_sim::load::{default_user_sweep, run_load_test_observed, LoadTestConfig, SampleHists};
 use llmpilot_sim::memory::{MemoryConfig, MemoryModel};
 use llmpilot_sim::perf_model::{PerfModel, PerfModelConfig};
 use llmpilot_sim::request::{RequestSource, RequestSpec};
@@ -179,6 +181,18 @@ impl CellBudget {
     }
 }
 
+/// Optional per-cell tail-latency observation: sample histograms for the
+/// load tester plus shared per-phase duration histograms for the engines.
+/// One instance aggregates across every load test of the cell.
+#[derive(Debug, Default)]
+pub struct CellHists {
+    /// Per-request normalized-TTFT and per-gap ITL samples.
+    pub samples: SampleHists,
+    /// Per-phase (prefill/decode) engine step durations; `Arc` because
+    /// every load test's engine shares the same sink.
+    pub phases: Arc<PhaseHists>,
+}
+
 /// Characterize one `(LLM, GPU profile)` cell: tune the batch weight, then
 /// load-test every user count.
 pub fn characterize_cell(
@@ -245,6 +259,26 @@ pub fn characterize_cell_faulty_traced(
     budget: &CellBudget,
     recorder: &Recorder,
 ) -> CellOutcome {
+    characterize_cell_observed(llm, profile, sampler, config, plan, attempt, budget, recorder, None)
+}
+
+/// [`characterize_cell_faulty_traced`] with optional tail-latency
+/// observation: when `hists` is given, every load test additionally
+/// records per-sample nTTFT/ITL and per-phase prefill/decode durations
+/// into it. Observation never perturbs the measurement — rows stay
+/// bit-identical to an unobserved run.
+#[allow(clippy::too_many_arguments)]
+pub fn characterize_cell_observed(
+    llm: &LlmSpec,
+    profile: &GpuProfile,
+    sampler: &WorkloadSampler,
+    config: &CharacterizeConfig,
+    plan: &FaultPlan,
+    attempt: u32,
+    budget: &CellBudget,
+    recorder: &Recorder,
+    hists: Option<&CellHists>,
+) -> CellOutcome {
     let cell = format!("{}/{}", llm.name, profile.name());
     let site = format!("{cell}#a{attempt}");
     let attempts = attempt + 1;
@@ -278,6 +312,9 @@ pub fn characterize_cell_faulty_traced(
         let mut engine = Engine::new(perf, tuned.max_batch_weight)
             .with_latency_noise(plan.latency_noise(&load_site))
             .with_recorder(recorder.clone());
+        if let Some(h) = hists {
+            engine = engine.with_phase_hists(Arc::clone(&h.phases));
+        }
         let mut source = WorkloadRequestSource::new(
             sampler.clone(),
             cell_seed(config.seed, llm.name, &profile.name(), users),
@@ -285,7 +322,7 @@ pub fn characterize_cell_faulty_traced(
         let mut faults = plan.load_faults(&load_site, config.duration_s);
         faults.max_steps = steps_left;
         faults.max_virtual_s = budget.max_virtual_s;
-        let result = run_load_test_faulty(
+        let result = run_load_test_observed(
             &mut engine,
             &mem,
             &mut source,
@@ -295,6 +332,7 @@ pub fn characterize_cell_faulty_traced(
                 concurrent_users: users,
             },
             &mut faults,
+            hists.map(|h| &h.samples),
         );
         // The step budget is per cell: steps spent on this load test are
         // gone for the remaining ones.

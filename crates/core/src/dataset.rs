@@ -255,7 +255,8 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_rows() {
-        let cases: Vec<(&str, Box<dyn Fn(&mut PerfRow)>)> = vec![
+        type Mutator = Box<dyn Fn(&mut PerfRow)>;
+        let cases: Vec<(&str, Mutator)> = vec![
             ("unknown llm", Box::new(|r| r.llm = "no-such-llm".into())),
             ("unknown profile", Box::new(|r| r.profile = "9xB200".into())),
             ("zero users", Box::new(|r| r.users = 0)),

@@ -34,7 +34,8 @@ pub mod weights;
 pub use autoscale::{diurnal_demand, simulate_autoscaler, AutoscaleOutcome, AutoscalerConfig};
 pub use characterize::{
     characterize, characterize_cell, characterize_cell_faulty, characterize_cell_faulty_traced,
-    CellBudget, CellOutcome, CharacterizeConfig, WorkloadRequestSource,
+    characterize_cell_observed, CellBudget, CellHists, CellOutcome, CharacterizeConfig,
+    WorkloadRequestSource,
 };
 pub use dataset::{CharacterizationDataset, PerfRow};
 pub use error::CoreError;
@@ -42,4 +43,7 @@ pub use evaluate::{so_score, true_u_max, Evaluation, MethodScore};
 pub use predictor::{PerformancePredictor, PredictorConfig};
 pub use recommend::{recommend, LatencyConstraints, Recommendation, RecommendationRequest};
 pub use serving::{online_predictor_config, ServingModel};
-pub use sweep::{CellStatus, SweepDriver, SweepDriverBuilder, SweepOptions, SweepReport};
+pub use sweep::{
+    CellStatus, CellTails, FlightOptions, SweepDriver, SweepDriverBuilder, SweepOptions,
+    SweepReport,
+};

@@ -22,9 +22,14 @@
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use rayon::prelude::*;
 
+use llmpilot_obs::events::EventSink;
+use llmpilot_obs::flight::{self, FlightRecorder};
+use llmpilot_obs::hist::{HistSummary, Histogram};
 use llmpilot_obs::Recorder;
 use llmpilot_sim::fault::FaultPlan;
 use llmpilot_sim::gpu::GpuProfile;
@@ -32,7 +37,7 @@ use llmpilot_sim::llm::LlmSpec;
 use llmpilot_workload::WorkloadSampler;
 
 use crate::characterize::{
-    characterize_cell_faulty_traced, CellBudget, CellOutcome, CharacterizeConfig,
+    characterize_cell_observed, CellBudget, CellHists, CellOutcome, CharacterizeConfig,
 };
 use crate::dataset::{CharacterizationDataset, PerfRow};
 use crate::error::CoreError;
@@ -63,6 +68,31 @@ pub struct SweepOptions {
     /// and the engines of every load test inherit it. Disabled by default;
     /// tracing never changes the measured dataset.
     pub recorder: Recorder,
+    /// Telemetry event stream (JSONL, see [`llmpilot_obs::events`]):
+    /// `sweep.started` / `cell.*` / `sweep.finished` events with
+    /// completeness and ETA. Disabled by default; events never change the
+    /// measured dataset.
+    pub events: EventSink,
+    /// Flight recorder: when set, each cell's spans are captured in a
+    /// bounded ring and dumped to `<dir>/flight-<llm>-<profile>.json` when
+    /// the cell exhausts its retries (or a panic unwinds mid-cell).
+    pub flight: Option<FlightOptions>,
+}
+
+/// Where (and how large) the per-cell flight recorder is.
+#[derive(Debug, Clone)]
+pub struct FlightOptions {
+    /// Directory receiving `flight-<llm>-<profile>.json` dumps.
+    pub dir: PathBuf,
+    /// Ring capacity in spans (most recent are kept).
+    pub capacity: usize,
+}
+
+impl FlightOptions {
+    /// Flight recording into `dir` with the default ring capacity.
+    pub fn new(dir: PathBuf) -> Self {
+        Self { dir, capacity: flight::DEFAULT_CAPACITY }
+    }
 }
 
 impl Default for SweepOptions {
@@ -76,6 +106,8 @@ impl Default for SweepOptions {
             journal_path: None,
             max_cells_per_run: None,
             recorder: Recorder::disabled(),
+            events: EventSink::disabled(),
+            flight: None,
         }
     }
 }
@@ -103,6 +135,22 @@ pub enum CellStatus {
     },
 }
 
+/// Tail-latency summaries of one measured cell: true quantiles over every
+/// individual sample of the cell's load tests (all values nanoseconds).
+/// Deterministic — derived from virtual time, so repeat sweeps agree
+/// bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CellTails {
+    /// Normalized TTFT per tracked request.
+    pub nttft: HistSummary,
+    /// Inter-token latency per emitted token gap.
+    pub itl: HistSummary,
+    /// Engine prefill cost per admitted request.
+    pub prefill: HistSummary,
+    /// Engine decode-step cost per iteration.
+    pub decode: HistSummary,
+}
+
 /// Aggregated result of a sweep: per-cell statuses in grid order plus
 /// counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -116,6 +164,10 @@ pub struct SweepReport {
     pub resumed: usize,
     /// Total virtual seconds of retry backoff accrued.
     pub backoff_virtual_s: f64,
+    /// Tail quantiles per cell *measured in this run* (resumed cells carry
+    /// no samples — histograms are not journaled), keyed by
+    /// `(llm, profile)`.
+    pub tails: BTreeMap<(String, String), CellTails>,
 }
 
 impl SweepReport {
@@ -190,6 +242,20 @@ impl fmt::Display for SweepReport {
                             "  [ok]        {llm} on {profile}: {} rows, weight {max_batch_weight} \
                              (after {attempts} attempts)",
                             rows.len()
+                        )?;
+                    }
+                    if let Some(t) = self.tails.get(&(llm.clone(), profile.clone())) {
+                        let ms = |ns: u64| ns as f64 / 1e6;
+                        writeln!(
+                            f,
+                            "  [tails]     {llm} on {profile}: nttft p50/p95/p99 = \
+                             {:.3}/{:.3}/{:.3} ms, itl p50/p95/p99 = {:.3}/{:.3}/{:.3} ms",
+                            ms(t.nttft.p50),
+                            ms(t.nttft.p95),
+                            ms(t.nttft.p99),
+                            ms(t.itl.p50),
+                            ms(t.itl.p95),
+                            ms(t.itl.p99),
                         )?;
                     }
                 }
@@ -398,6 +464,38 @@ fn parse_journal_line(
     Ok(())
 }
 
+/// Shared progress state of one [`SweepDriver::run`]: completed-cell count
+/// (cells resumed from the journal count as done), plus wall-clock cell
+/// durations feeding the ETA estimate in `cell.finished` events.
+struct SweepProgress {
+    grid_cells: u64,
+    done_cells: AtomicU64,
+    cell_wall: Histogram,
+}
+
+impl SweepProgress {
+    fn new(grid_cells: u64, resumed: u64) -> Self {
+        Self { grid_cells, done_cells: AtomicU64::new(resumed), cell_wall: Histogram::default() }
+    }
+
+    /// Record one finished cell's wall time; returns the new done count.
+    fn finish_cell(&self, wall_s: f64) -> u64 {
+        self.cell_wall.record_secs(wall_s);
+        self.done_cells.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Remaining cells × median observed cell duration, divided over the
+    /// worker pool; 0 when done or before any cell has finished.
+    fn eta_s(&self, done: u64) -> f64 {
+        let remaining = self.grid_cells.saturating_sub(done);
+        if remaining == 0 || self.cell_wall.is_empty() {
+            return 0.0;
+        }
+        let p50_s = self.cell_wall.quantile(0.5) as f64 / 1e9;
+        remaining as f64 * p50_s / rayon::current_num_threads().max(1) as f64
+    }
+}
+
 /// Fault-tolerant, resumable driver of the characterization sweep.
 pub struct SweepDriver<'a> {
     llms: &'a [LlmSpec],
@@ -518,22 +616,54 @@ impl<'a> SweepDriver<'a> {
     }
 
     /// Run one cell to completion: retry with exponential virtual backoff
-    /// until measured, infeasible, or out of attempts. Returns the status
-    /// and the backoff accrued.
-    fn run_cell(&self, llm: &LlmSpec, profile: &GpuProfile) -> (CellStatus, f64) {
+    /// until measured, infeasible, or out of attempts. Returns the status,
+    /// the backoff accrued, and the cell's tail quantiles.
+    fn run_cell(
+        &self,
+        llm: &LlmSpec,
+        profile: &GpuProfile,
+        progress: &SweepProgress,
+    ) -> (CellStatus, f64, CellTails) {
+        let cell_start = Instant::now();
+        let name = profile.name();
+        let events = &self.options.events;
+        events.cell_started(llm.name, &name, progress.grid_cells);
+
         let recorder = &self.options.recorder;
         let mut cell_span =
-            recorder.span("sweep.cell").arg("llm", llm.name).arg("profile", profile.name());
+            recorder.span("sweep.cell").arg("llm", llm.name).arg("profile", name.as_str());
+        // When flight recording is on, the cell's interior spans go to a
+        // bounded per-cell ring instead of the sweep recorder, so a dump
+        // holds exactly the failing cell's last moments. The armed guard
+        // also dumps the ring if a panic unwinds through this cell.
+        let flight = self.options.flight.as_ref().map(|opts| {
+            flight::install_panic_hook();
+            (
+                FlightRecorder::new(opts.capacity),
+                opts.dir.join(flight::dump_file_name(llm.name, &name)),
+            )
+        });
+        let _armed = flight.as_ref().map(|(fl, path)| flight::arm(fl, path.clone()));
+        let cell_rec: Recorder =
+            flight.as_ref().map_or_else(|| recorder.clone(), |(fl, _)| fl.recorder().clone());
+
         let budget = CellBudget {
             max_steps: self.options.max_steps_per_cell,
             max_virtual_s: self.options.max_virtual_s_per_cell,
         };
+        let hists = CellHists::default();
         let mut backoff = 0.0;
         let mut attempt = 0;
-        loop {
+        let status = loop {
+            events.cell_attempt(
+                llm.name,
+                &name,
+                u64::from(attempt + 1),
+                u64::from(self.options.max_attempts),
+            );
             let outcome = {
-                let _attempt_span = recorder.span("sweep.attempt").arg("attempt", attempt + 1);
-                characterize_cell_faulty_traced(
+                let _attempt_span = cell_rec.span("sweep.attempt").arg("attempt", attempt + 1);
+                characterize_cell_observed(
                     llm,
                     profile,
                     self.sampler,
@@ -541,42 +671,76 @@ impl<'a> SweepDriver<'a> {
                     &self.options.plan,
                     attempt,
                     &budget,
-                    recorder,
+                    &cell_rec,
+                    Some(&hists),
                 )
             };
             attempt += 1;
             match outcome {
                 CellOutcome::Measured { max_batch_weight, rows } => {
                     cell_span.set_arg("attempts", attempt);
-                    return (
-                        CellStatus::Measured { max_batch_weight, rows, attempts: attempt },
-                        backoff,
-                    );
+                    break CellStatus::Measured { max_batch_weight, rows, attempts: attempt };
                 }
                 CellOutcome::Infeasible(reason) => {
                     cell_span.set_arg("infeasible", true);
-                    return (CellStatus::Infeasible(reason), backoff);
+                    break CellStatus::Infeasible(reason);
                 }
                 CellOutcome::Failed { error, .. } => {
                     if attempt >= self.options.max_attempts {
                         cell_span.set_arg("failed", true);
                         cell_span.set_arg("attempts", attempt);
-                        return (
-                            CellStatus::Failed { error: error.to_string(), attempts: attempt },
-                            backoff,
-                        );
+                        // Retries exhausted: dump the flight ring for
+                        // post-mortem before reporting the failure.
+                        if let Some((fl, path)) = &flight {
+                            let _ = fl.dump_to(path);
+                        }
+                        break CellStatus::Failed { error: error.to_string(), attempts: attempt };
                     }
                     let step =
                         self.options.backoff_base_s * (2.0f64).powi((attempt - 1).min(60) as i32);
                     backoff += step;
-                    recorder.counter_add("sweep.retries", 1);
+                    events.cell_retried(
+                        llm.name,
+                        &name,
+                        u64::from(attempt),
+                        u64::from(self.options.max_attempts),
+                        step,
+                        &error.to_string(),
+                    );
+                    cell_rec.counter_add("sweep.retries", 1);
                     // Virtual backoff is never slept, so the span marks the
                     // decision point (zero wall-clock width) and carries the
                     // virtual wait as an argument.
-                    drop(recorder.span("sweep.backoff").arg("backoff_virtual_s", step));
+                    drop(cell_rec.span("sweep.backoff").arg("backoff_virtual_s", step));
                 }
             }
-        }
+        };
+
+        let tails = CellTails {
+            nttft: hists.samples.nttft.summary(),
+            itl: hists.samples.itl.summary(),
+            prefill: hists.phases.prefill.summary(),
+            decode: hists.phases.decode.summary(),
+        };
+        let done = progress.finish_cell(cell_start.elapsed().as_secs_f64());
+        let status_str = match &status {
+            CellStatus::Measured { .. } => "measured",
+            CellStatus::Infeasible(_) => "infeasible",
+            CellStatus::Failed { .. } => "failed",
+        };
+        let measured = matches!(status, CellStatus::Measured { .. });
+        events.cell_finished(
+            llm.name,
+            &name,
+            status_str,
+            u64::from(attempt.max(1)),
+            done,
+            progress.grid_cells,
+            progress.eta_s(done),
+            measured.then_some(&tails.nttft),
+            measured.then_some(&tails.itl),
+        );
+        (status, backoff, tails)
     }
 
     /// Run the sweep (or the next chunk of it, under
@@ -585,6 +749,7 @@ impl<'a> SweepDriver<'a> {
     /// in grid order — so a resumed sweep's dataset is bit-identical to a
     /// one-shot sweep's, regardless of which run measured which cell.
     pub fn run(&self) -> Result<(CharacterizationDataset, SweepReport), CoreError> {
+        let run_start = Instant::now();
         let grid: Vec<(&LlmSpec, &GpuProfile)> =
             self.llms.iter().flat_map(|m| self.profiles.iter().map(move |p| (m, p))).collect();
         let mut run_span =
@@ -601,6 +766,11 @@ impl<'a> SweepDriver<'a> {
         };
         let resumed = done.len();
         run_span.set_arg("resumed", resumed as u64);
+        self.options.events.sweep_started(
+            grid.len() as u64,
+            resumed as u64,
+            u64::from(self.options.max_attempts),
+        );
 
         // Cells still to process, in grid order, capped per run.
         let todo: Vec<(&LlmSpec, &GpuProfile)> = grid
@@ -610,19 +780,24 @@ impl<'a> SweepDriver<'a> {
             .copied()
             .collect();
 
-        let results: Vec<((String, String), (CellStatus, f64))> = todo
+        /// What one `run_cell` call yields, keyed by `(llm, profile)`.
+        type CellResult = ((String, String), (CellStatus, f64, CellTails));
+        let progress = SweepProgress::new(grid.len() as u64, resumed as u64);
+        let results: Vec<CellResult> = todo
             .par_iter()
             .map(|(llm, profile)| {
-                ((llm.name.to_string(), profile.name()), self.run_cell(llm, profile))
+                ((llm.name.to_string(), profile.name()), self.run_cell(llm, profile, &progress))
             })
             .collect();
 
         // Append the new cells to the journal (grid order) before reporting.
         let mut backoff_virtual_s = 0.0;
         let mut journal_append = String::new();
-        for ((llm, profile), (status, backoff)) in results {
+        let mut tails = BTreeMap::new();
+        for ((llm, profile), (status, backoff, cell_tails)) in results {
             backoff_virtual_s += backoff;
             journal_append.push_str(&journal_lines(&llm, &profile, &status));
+            tails.insert((llm.clone(), profile.clone()), cell_tails);
             done.insert((llm, profile), status);
         }
         if let Some(path) = &self.options.journal_path {
@@ -664,7 +839,16 @@ impl<'a> SweepDriver<'a> {
                 None => pending += 1,
             }
         }
-        Ok((ds, SweepReport { cells, pending, resumed, backoff_virtual_s }))
+        let report = SweepReport { cells, pending, resumed, backoff_virtual_s, tails };
+        self.options.events.sweep_finished(
+            grid.len() as u64,
+            report.cells.len() as u64,
+            report.measured() as u64,
+            report.infeasible() as u64,
+            report.failed() as u64,
+            run_start.elapsed().as_secs_f64(),
+        );
+        Ok((ds, report))
     }
 }
 
@@ -1011,6 +1195,117 @@ mod tests {
             )
         }));
         assert!(panicked.is_err(), "new() must panic on invalid options");
+    }
+
+    #[test]
+    fn sweep_emits_a_valid_event_stream_with_full_completeness() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let (events, buffer) = EventSink::to_buffer();
+        let options = SweepOptions { events, ..SweepOptions::default() };
+        let (ds, report) = driver(&llms, &profiles, &s, quick_config(), options).run().unwrap();
+        assert!(report.is_complete());
+
+        let text = String::from_utf8(buffer.lock().unwrap().clone()).unwrap();
+        let stats = llmpilot_obs::check::check_events(&text).expect("stream must validate");
+        assert_eq!(stats.types.get("sweep.started"), Some(&1));
+        assert_eq!(stats.types.get("sweep.finished"), Some(&1));
+        assert_eq!(stats.types.get("cell.started"), Some(&4));
+        assert_eq!(stats.types.get("cell.finished"), Some(&4));
+        assert_eq!(stats.completeness_pct, Some(100.0));
+        assert!(stats.finished);
+        assert!(!stats.truncated_tail);
+        // Measured cells carry their histogram snapshot.
+        assert!(text.contains("nttft_p99_ms"));
+
+        // The events never change the dataset.
+        let plain =
+            driver(&llms, &profiles, &s, quick_config(), SweepOptions::default()).run().unwrap().0;
+        assert_eq!(ds, plain);
+    }
+
+    #[test]
+    fn measured_cells_get_deterministic_tail_quantiles() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let run =
+            || driver(&llms, &profiles, &s, quick_config(), SweepOptions::default()).run().unwrap();
+        let (_, a) = run();
+        let (_, b) = run();
+        assert_eq!(a.tails, b.tails, "tails must be deterministic");
+        assert_eq!(a.tails.len(), 4, "every fresh cell reports tails");
+        for (llm, profile, status) in &a.cells {
+            let t = &a.tails[&(llm.clone(), profile.clone())];
+            if matches!(status, CellStatus::Measured { .. }) {
+                assert!(t.nttft.count > 0);
+                assert!(t.itl.count > 0);
+                assert!(t.prefill.count > 0);
+                assert!(t.decode.count > 0);
+                assert!(t.itl.p99 >= t.itl.p50);
+                assert!(t.nttft.p999 >= t.nttft.p99);
+            } else {
+                assert_eq!(t.nttft.count, 0, "unmeasured cells have no samples");
+            }
+        }
+        // The report surfaces the quantiles (CI greps for a p99 line).
+        let text = a.to_string();
+        assert!(text.contains("p50/p95/p99"), "{text}");
+    }
+
+    #[test]
+    fn flight_dumps_appear_for_exactly_the_failed_cells() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let dir = std::env::temp_dir().join(format!("llmpilot-flight-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let options = SweepOptions {
+            // Deploy always fails: every feasible cell exhausts its retries.
+            plan: FaultPlan::new(FaultConfig {
+                deploy_failure_prob: 1.0,
+                ..FaultConfig::disabled()
+            }),
+            max_attempts: 2,
+            flight: Some(FlightOptions::new(dir.clone())),
+            ..SweepOptions::default()
+        };
+        let (_, report) = driver(&llms, &profiles, &s, quick_config(), options).run().unwrap();
+        assert_eq!(report.failed(), 3);
+        for (llm, profile, status) in &report.cells {
+            let path = dir.join(flight::dump_file_name(llm, profile));
+            match status {
+                CellStatus::Failed { .. } => {
+                    let doc = std::fs::read_to_string(&path)
+                        .unwrap_or_else(|e| panic!("missing dump {path:?}: {e}"));
+                    // Every dump is a valid chrome trace holding the failing
+                    // cell's final spans.
+                    let stats = llmpilot_obs::check::check_chrome_trace(&doc, &[]).unwrap();
+                    assert!(stats.span_events > 0, "dump for {llm}/{profile} must hold spans");
+                    assert!(doc.contains("sweep.attempt"), "dump holds the attempt spans");
+                }
+                _ => assert!(!path.exists(), "no dump for non-failed cell {llm}/{profile}"),
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flight_recording_does_not_change_the_dataset() {
+        let s = sampler();
+        let (llms, profiles) = grid();
+        let dir = std::env::temp_dir().join(format!("llmpilot-flight-ok-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let plain =
+            driver(&llms, &profiles, &s, quick_config(), SweepOptions::default()).run().unwrap();
+        let options = SweepOptions {
+            flight: Some(FlightOptions::new(dir.clone())),
+            ..SweepOptions::default()
+        };
+        let flighted = driver(&llms, &profiles, &s, quick_config(), options).run().unwrap();
+        assert_eq!(plain, flighted, "flight recording must not perturb the sweep");
+        // All cells succeeded (or were infeasible): no dumps at all.
+        let dumped = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(dumped, 0, "successful sweeps leave no flight dumps");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

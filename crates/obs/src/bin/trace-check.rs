@@ -1,28 +1,40 @@
-//! `trace-check` — validate a Chrome `trace_event` JSON file.
+//! `trace-check` — validate a Chrome `trace_event` JSON file or a JSONL
+//! telemetry event stream.
 //!
 //! ```text
-//! trace-check FILE [--require-span NAME]...
+//! trace-check FILE [--require-span NAME]... [--require-counter NAME]...
+//! trace-check --events FILE
 //! ```
 //!
-//! Exits 0 when `FILE` parses as JSON, every span event is well-formed,
-//! begin/end intervals nest strictly per thread, parent links resolve and
-//! enclose their children, and every `--require-span` name occurs at least
-//! once. Exits 1 with a diagnostic otherwise, 2 on usage errors. Used by
-//! CI to gate `llm-pilot characterize --trace-out` output.
+//! In trace mode, exits 0 when `FILE` parses as JSON, every span event is
+//! well-formed, begin/end intervals nest strictly per thread, parent
+//! links resolve and enclose their children, and every `--require-span`
+//! / `--require-counter` name occurs at least once; on failure the
+//! diagnostic lists *every* missing required name. In `--events` mode,
+//! validates the JSONL stream written by `--events-out` (schema version,
+//! envelope fields, monotone timestamps, per-type required fields; a torn
+//! final line is tolerated and reported). Exits 1 with a diagnostic
+//! otherwise, 2 on usage errors. Used by CI to gate both
+//! `llm-pilot characterize --trace-out` and `--events-out` output.
 
 use std::process::exit;
 
-use llmpilot_obs::check::check_chrome_trace;
+use llmpilot_obs::check::{check_chrome_trace_full, check_events};
 
 fn usage() -> ! {
-    eprintln!("usage: trace-check FILE [--require-span NAME]...");
+    eprintln!(
+        "usage: trace-check FILE [--require-span NAME]... [--require-counter NAME]...\n\
+         \x20      trace-check --events FILE"
+    );
     exit(2)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
-    let mut required: Vec<String> = Vec::new();
+    let mut required_spans: Vec<String> = Vec::new();
+    let mut required_counters: Vec<String> = Vec::new();
+    let mut events_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -31,11 +43,23 @@ fn main() {
                     eprintln!("missing value for --require-span");
                     usage();
                 };
-                required.push(name.clone());
+                required_spans.push(name.clone());
                 i += 2;
             }
+            "--require-counter" => {
+                let Some(name) = args.get(i + 1) else {
+                    eprintln!("missing value for --require-counter");
+                    usage();
+                };
+                required_counters.push(name.clone());
+                i += 2;
+            }
+            "--events" => {
+                events_mode = true;
+                i += 1;
+            }
             "--help" | "-h" => usage(),
-            flag if flag.starts_with('-') => {
+            flag if flag.starts_with('-') && flag != "-" => {
                 eprintln!("unknown flag {flag}");
                 usage();
             }
@@ -49,6 +73,10 @@ fn main() {
         }
     }
     let Some(file) = file else { usage() };
+    if events_mode && (!required_spans.is_empty() || !required_counters.is_empty()) {
+        eprintln!("--require-span/--require-counter do not apply to --events mode");
+        usage();
+    }
 
     let document = match std::fs::read_to_string(&file) {
         Ok(text) => text,
@@ -57,8 +85,35 @@ fn main() {
             exit(1)
         }
     };
-    let required_refs: Vec<&str> = required.iter().map(String::as_str).collect();
-    match check_chrome_trace(&document, &required_refs) {
+
+    if events_mode {
+        match check_events(&document) {
+            Ok(stats) => {
+                let types: Vec<String> =
+                    stats.types.iter().map(|(name, n)| format!("{name}×{n}")).collect();
+                println!(
+                    "{file}: OK — {} event(s) [{}]{}{}{}",
+                    stats.events,
+                    types.join(", "),
+                    stats
+                        .completeness_pct
+                        .map(|c| format!(", completeness {c:.1}%"))
+                        .unwrap_or_default(),
+                    if stats.finished { ", finished" } else { "" },
+                    if stats.truncated_tail { ", torn tail tolerated" } else { "" },
+                );
+            }
+            Err(e) => {
+                eprintln!("error: {file}: {e}");
+                exit(1)
+            }
+        }
+        return;
+    }
+
+    let span_refs: Vec<&str> = required_spans.iter().map(String::as_str).collect();
+    let counter_refs: Vec<&str> = required_counters.iter().map(String::as_str).collect();
+    match check_chrome_trace_full(&document, &span_refs, &counter_refs) {
         Ok(stats) => {
             println!(
                 "{file}: OK — {} spans on {} thread(s), {} counter event(s), max depth {}",

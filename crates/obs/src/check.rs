@@ -1,13 +1,17 @@
-//! Structural validation of Chrome `trace_event` documents.
+//! Structural validation of Chrome `trace_event` documents and JSONL
+//! telemetry event streams.
 //!
 //! Shared by the `trace-check` binary (CI smoke gate) and the round-trip
-//! property tests. A document passes when it parses as JSON, every
+//! property tests. A trace document passes when it parses as JSON, every
 //! complete (`"X"`) event carries the required fields, begin/end intervals
 //! are strictly nested per thread, and every recorded `parent` id refers
 //! to an existing span that actually encloses the child.
+//! [`check_events`] is the mirror-image validator for the
+//! [`crate::events`] JSONL stream.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
+use crate::events::{required_fields, SCHEMA_VERSION};
 use crate::json::{parse, Json};
 
 /// Interval-comparison slack in microseconds; covers `f64` addition
@@ -77,6 +81,18 @@ fn span_row(event: &Json, idx: usize) -> Result<SpanRow, String> {
 /// Validate `document` (a Chrome trace JSON string). `required_spans`
 /// lists span names that must each occur at least once.
 pub fn check_chrome_trace(document: &str, required_spans: &[&str]) -> Result<CheckStats, String> {
+    check_chrome_trace_full(document, required_spans, &[])
+}
+
+/// Like [`check_chrome_trace`], additionally requiring each name in
+/// `required_counters` to occur as a counter (`"C"`) event. On a
+/// requirement failure the error lists *every* missing span and counter,
+/// so the CI log says exactly what to go look for.
+pub fn check_chrome_trace_full(
+    document: &str,
+    required_spans: &[&str],
+    required_counters: &[&str],
+) -> Result<CheckStats, String> {
     let root = parse(document).map_err(|e| format!("invalid JSON: {e}"))?;
     let events = root
         .get("traceEvents")
@@ -85,6 +101,7 @@ pub fn check_chrome_trace(document: &str, required_spans: &[&str]) -> Result<Che
 
     let mut spans = Vec::new();
     let mut counter_events = 0usize;
+    let mut counter_names: BTreeSet<String> = BTreeSet::new();
     for (idx, event) in events.iter().enumerate() {
         let ph = event
             .get("ph")
@@ -92,7 +109,12 @@ pub fn check_chrome_trace(document: &str, required_spans: &[&str]) -> Result<Che
             .ok_or_else(|| format!("event #{idx}: missing or non-string \"ph\""))?;
         match ph {
             "X" => spans.push(span_row(event, idx)?),
-            "C" => counter_events += 1,
+            "C" => {
+                counter_events += 1;
+                if let Some(name) = event.get("name").and_then(Json::as_str) {
+                    counter_names.insert(name.to_string());
+                }
+            }
             "M" => {}
             other => return Err(format!("event #{idx}: unsupported phase {other:?}")),
         }
@@ -172,13 +194,136 @@ pub fn check_chrome_trace(document: &str, required_spans: &[&str]) -> Result<Che
         max_depth = max_depth.max(depth);
     }
 
-    for required in required_spans {
-        if !spans.iter().any(|s| s.name == *required) {
-            return Err(format!("required span {required:?} not found in trace"));
+    // Requirement failures list everything that is missing at once, so a
+    // single CI run tells the whole story.
+    let span_names: BTreeSet<&str> = spans.iter().map(|s| s.name.as_str()).collect();
+    let missing_spans: Vec<&str> =
+        required_spans.iter().copied().filter(|name| !span_names.contains(name)).collect();
+    let missing_counters: Vec<&str> =
+        required_counters.iter().copied().filter(|name| !counter_names.contains(*name)).collect();
+    if !missing_spans.is_empty() || !missing_counters.is_empty() {
+        let mut parts = Vec::new();
+        if !missing_spans.is_empty() {
+            parts.push(format!("required span(s) not found: {missing_spans:?}"));
         }
+        if !missing_counters.is_empty() {
+            parts.push(format!("required counter(s) not found: {missing_counters:?}"));
+        }
+        return Err(format!(
+            "{} (trace has {} span name(s), {} counter name(s))",
+            parts.join("; "),
+            span_names.len(),
+            counter_names.len()
+        ));
     }
 
     Ok(CheckStats { span_events: spans.len(), threads: tids.len(), counter_events, max_depth })
+}
+
+/// What a successful [`check_events`] validation saw.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventsStats {
+    /// Number of well-formed event lines.
+    pub events: usize,
+    /// Event counts per event type.
+    pub types: BTreeMap<String, usize>,
+    /// Whether the final line was unparseable (a torn tail from an
+    /// interrupted writer — tolerated, like the sweep journal's).
+    pub truncated_tail: bool,
+    /// The last `completeness_pct` value seen, if any.
+    pub completeness_pct: Option<f64>,
+    /// Whether a `sweep.finished` event was seen.
+    pub finished: bool,
+}
+
+/// Validate a JSONL telemetry stream (see [`crate::events`]).
+///
+/// Every line must parse as a JSON object with a valid envelope — a `v`
+/// no newer than [`SCHEMA_VERSION`], a well-formed `event` name, and a
+/// monotone non-decreasing non-negative `ts_ms` — and known event types
+/// must carry their required fields. Unknown event types only need the
+/// envelope (forward compatibility). A single unparseable *final* line is
+/// tolerated as a torn tail and reported in
+/// [`EventsStats::truncated_tail`]; garbage anywhere else is an error
+/// naming the 1-based line number.
+pub fn check_events(document: &str) -> Result<EventsStats, String> {
+    let mut stats = EventsStats::default();
+    let lines: Vec<(usize, &str)> = document
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty())
+        .collect();
+    let mut last_ts = f64::NEG_INFINITY;
+    for (pos, &(line_no, line)) in lines.iter().enumerate() {
+        let is_last = pos + 1 == lines.len();
+        let value = match parse(line) {
+            Ok(v) => v,
+            Err(e) => {
+                if is_last {
+                    stats.truncated_tail = true;
+                    break;
+                }
+                return Err(format!("line {line_no}: invalid JSON: {e}"));
+            }
+        };
+        if !matches!(value, Json::Obj(_)) {
+            if is_last {
+                stats.truncated_tail = true;
+                break;
+            }
+            return Err(format!("line {line_no}: event must be a JSON object"));
+        }
+        let v = value
+            .get("v")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| format!("line {line_no}: missing or non-integer \"v\""))?;
+        if v == 0 || v > SCHEMA_VERSION {
+            return Err(format!(
+                "line {line_no}: unsupported schema version {v} (this reader understands <= {SCHEMA_VERSION})"
+            ));
+        }
+        let event = value
+            .get("event")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {line_no}: missing or non-string \"event\""))?;
+        if event.is_empty()
+            || !event
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || ".-_".contains(c))
+        {
+            return Err(format!("line {line_no}: malformed event name {event:?}"));
+        }
+        let ts = value
+            .get("ts_ms")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {line_no}: missing or non-numeric \"ts_ms\""))?;
+        if ts < 0.0 {
+            return Err(format!("line {line_no}: negative ts_ms {ts}"));
+        }
+        if ts < last_ts {
+            return Err(format!("line {line_no}: ts_ms went backwards ({ts} after {last_ts})"));
+        }
+        last_ts = ts;
+        if let Some(required) = required_fields(event) {
+            let missing: Vec<&str> =
+                required.iter().copied().filter(|f| value.get(f).is_none()).collect();
+            if !missing.is_empty() {
+                return Err(format!(
+                    "line {line_no}: {event:?} missing required field(s): {missing:?}"
+                ));
+            }
+        }
+        if let Some(c) = value.get("completeness_pct").and_then(Json::as_f64) {
+            stats.completeness_pct = Some(c);
+        }
+        if event == "sweep.finished" {
+            stats.finished = true;
+        }
+        stats.events += 1;
+        *stats.types.entry(event.to_string()).or_insert(0) += 1;
+    }
+    Ok(stats)
 }
 
 #[cfg(test)]
@@ -256,6 +401,86 @@ mod tests {
     fn invalid_json_fails() {
         assert!(check_chrome_trace("{not json", &[]).is_err());
         assert!(check_chrome_trace("[]", &[]).is_err());
+    }
+
+    #[test]
+    fn missing_names_are_all_listed() {
+        let rec = Recorder::enabled();
+        {
+            let _a = rec.span("present.span");
+        }
+        rec.counter_add("present.counter", 1);
+        let doc = to_chrome_json(&rec.snapshot());
+        let err = check_chrome_trace_full(
+            &doc,
+            &["present.span", "ghost.one", "ghost.two"],
+            &["present.counter", "ghost.counter"],
+        )
+        .unwrap_err();
+        assert!(err.contains("ghost.one") && err.contains("ghost.two"), "{err}");
+        assert!(err.contains("ghost.counter"), "{err}");
+        assert!(!err.contains("\"present.span\""), "{err}");
+        check_chrome_trace_full(&doc, &["present.span"], &["present.counter"]).unwrap();
+    }
+
+    #[test]
+    fn check_events_accepts_a_real_stream() {
+        use crate::events::EventSink;
+        let (sink, buf) = EventSink::to_buffer();
+        sink.sweep_started(2, 0, 3);
+        sink.cell_started("m", "p", 2);
+        sink.cell_attempt("m", "p", 1, 3);
+        sink.cell_finished("m", "p", "measured", 1, 1, 2, 0.0, None, None);
+        sink.sweep_finished(2, 2, 2, 0, 0, 0.5);
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let stats = check_events(&text).unwrap();
+        assert_eq!(stats.events, 5);
+        assert!(stats.finished);
+        assert!(!stats.truncated_tail);
+        assert_eq!(stats.completeness_pct, Some(100.0));
+        assert_eq!(stats.types["cell.attempt"], 1);
+    }
+
+    #[test]
+    fn check_events_tolerates_torn_tail_but_not_midstream_garbage() {
+        use crate::events::EventSink;
+        let (sink, buf) = EventSink::to_buffer();
+        sink.sweep_started(1, 0, 1);
+        let mut text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let good = text.clone();
+        text.push_str("{\"v\":1,\"ts_ms\":9,\"event\":\"cell.sta"); // torn
+        let stats = check_events(&text).unwrap();
+        assert!(stats.truncated_tail);
+        assert_eq!(stats.events, 1);
+        // The same garbage mid-stream is fatal, with the line number.
+        let bad = String::from("{torn\n") + &good;
+        let err = check_events(&bad).unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn check_events_rejects_bad_envelopes() {
+        // Future schema version.
+        let e1 = format!(
+            "{{\"v\":{},\"ts_ms\":1,\"event\":\"x\"}}\n{{}}",
+            crate::events::SCHEMA_VERSION + 1
+        );
+        assert!(check_events(&e1).unwrap_err().contains("schema version"));
+        // Backwards timestamps.
+        let e2 = "{\"v\":1,\"ts_ms\":5,\"event\":\"a\"}\n\
+                  {\"v\":1,\"ts_ms\":4,\"event\":\"b\"}\n\
+                  {\"v\":1,\"ts_ms\":6,\"event\":\"c\"}";
+        assert!(check_events(e2).unwrap_err().contains("backwards"));
+        // Known type missing required fields.
+        let e3 = "{\"v\":1,\"ts_ms\":1,\"event\":\"sweep.started\"}\n\
+                  {\"v\":1,\"ts_ms\":2,\"event\":\"x\"}";
+        let err = check_events(e3).unwrap_err();
+        assert!(err.contains("grid_cells"), "{err}");
+        // Unknown event types need only the envelope.
+        let e4 = "{\"v\":1,\"ts_ms\":1,\"event\":\"custom.thing\",\"whatever\":true}";
+        assert_eq!(check_events(e4).unwrap().events, 1);
+        // Empty stream is fine.
+        assert_eq!(check_events("").unwrap().events, 0);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! arguments plus the span `id`/`parent` links so tooling (and our own
 //! checker) can rebuild the tree exactly.
 
-use crate::json::escape;
+use crate::json::JsonWriter;
 use crate::{ArgValue, Trace};
 
 /// Process id used for every event (a trace covers one process).
@@ -19,98 +19,117 @@ fn fmt_us(ns: u64) -> String {
     format!("{}.{:03}", ns / 1_000, ns % 1_000)
 }
 
-fn arg_json(value: &ArgValue) -> String {
+fn write_arg(w: &mut JsonWriter, value: &ArgValue) {
     match value {
-        ArgValue::U64(v) => v.to_string(),
-        ArgValue::I64(v) => v.to_string(),
-        ArgValue::F64(v) if v.is_finite() => {
-            let mut s = format!("{v}");
-            if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-                s.push_str(".0");
-            }
-            s
-        }
-        // JSON has no NaN/Inf; stringify so the document stays valid.
-        ArgValue::F64(v) => format!("\"{v}\""),
-        ArgValue::Bool(v) => v.to_string(),
-        ArgValue::Str(s) => format!("\"{}\"", escape(s)),
+        ArgValue::U64(v) => w.u64(*v),
+        ArgValue::I64(v) => w.i64(*v),
+        // JsonWriter stringifies NaN/Inf, keeping the document valid.
+        ArgValue::F64(v) => w.f64(*v),
+        ArgValue::Bool(v) => w.bool(*v),
+        ArgValue::Str(s) => w.string(s),
     }
+}
+
+fn write_counter_event(w: &mut JsonWriter, name: &str, value: &str, ts_us: &str) {
+    w.newline();
+    w.begin_object();
+    w.key("name");
+    w.string(name);
+    w.key("ph");
+    w.string("C");
+    w.key("ts");
+    w.raw(ts_us);
+    w.key("pid");
+    w.u64(PID);
+    w.key("args");
+    w.begin_object();
+    w.key("value");
+    // Pre-rendered so u64 counters and i64 gauges both stay exact.
+    w.raw(value);
+    w.end_object();
+    w.end_object();
 }
 
 /// Render `trace` as a Chrome `trace_event` JSON document.
 pub fn to_chrome_json(trace: &Trace) -> String {
-    let mut out = String::with_capacity(64 + trace.events.len() * 160);
-    out.push_str("{\"traceEvents\":[");
-    let mut first = true;
-    let mut push = |out: &mut String, event: String| {
-        if !std::mem::take(&mut first) {
-            out.push(',');
-        }
-        out.push('\n');
-        out.push_str(&event);
-    };
+    let mut w = JsonWriter::with_capacity(64 + trace.events.len() * 160);
+    w.begin_object();
+    w.key("traceEvents");
+    w.begin_array();
 
     // Thread-name metadata so Perfetto labels tracks "worker-<tid>".
     let mut tids: Vec<u64> = trace.events.iter().map(|e| e.tid).collect();
     tids.sort_unstable();
     tids.dedup();
     for tid in &tids {
-        push(
-            &mut out,
-            format!(
-                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{PID},\"tid\":{tid},\
-                 \"args\":{{\"name\":\"worker-{tid}\"}}}}"
-            ),
-        );
+        w.newline();
+        w.begin_object();
+        w.key("name");
+        w.string("thread_name");
+        w.key("ph");
+        w.string("M");
+        w.key("pid");
+        w.u64(PID);
+        w.key("tid");
+        w.u64(*tid);
+        w.key("args");
+        w.begin_object();
+        w.key("name");
+        w.string(&format!("worker-{tid}"));
+        w.end_object();
+        w.end_object();
     }
 
     for e in &trace.events {
-        let mut args = format!("\"id\":{}", e.id);
+        w.newline();
+        w.begin_object();
+        w.key("name");
+        w.string(&e.name);
+        w.key("cat");
+        w.string("obs");
+        w.key("ph");
+        w.string("X");
+        w.key("ts");
+        w.raw(&fmt_us(e.begin_ns));
+        w.key("dur");
+        w.raw(&fmt_us(e.duration_ns()));
+        w.key("pid");
+        w.u64(PID);
+        w.key("tid");
+        w.u64(e.tid);
+        w.key("args");
+        w.begin_object();
+        w.key("id");
+        w.u64(e.id);
         if let Some(parent) = e.parent {
-            args.push_str(&format!(",\"parent\":{parent}"));
+            w.key("parent");
+            w.u64(parent);
         }
         for (key, value) in &e.args {
-            args.push_str(&format!(",\"{}\":{}", escape(key), arg_json(value)));
+            w.key(key);
+            write_arg(&mut w, value);
         }
-        push(
-            &mut out,
-            format!(
-                "{{\"name\":\"{}\",\"cat\":\"obs\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\
-                 \"pid\":{PID},\"tid\":{},\"args\":{{{args}}}}}",
-                escape(&e.name),
-                fmt_us(e.begin_ns),
-                fmt_us(e.duration_ns()),
-                e.tid,
-            ),
-        );
+        w.end_object();
+        w.end_object();
     }
 
     // Counters and gauges as single counter samples at the trace end.
     let end_ns = trace.events.iter().map(|e| e.end_ns).max().unwrap_or(0);
+    let end_us = fmt_us(end_ns);
     for (name, value) in &trace.counters {
-        push(
-            &mut out,
-            format!(
-                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\
-                 \"args\":{{\"value\":{value}}}}}",
-                escape(name),
-                fmt_us(end_ns),
-            ),
-        );
+        write_counter_event(&mut w, name, &value.to_string(), &end_us);
     }
     for (name, value) in &trace.gauges {
-        push(
-            &mut out,
-            format!(
-                "{{\"name\":\"{}\",\"ph\":\"C\",\"ts\":{},\"pid\":{PID},\
-                 \"args\":{{\"value\":{value}}}}}",
-                escape(name),
-                fmt_us(end_ns),
-            ),
-        );
+        write_counter_event(&mut w, name, &value.to_string(), &end_us);
     }
 
-    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    w.newline();
+    w.end_array();
+    w.key("displayTimeUnit");
+    w.string("ms");
+    w.end_object();
+    let mut out = w.finish();
+    out.push('\n');
     out
 }
 

@@ -273,6 +273,158 @@ pub fn escape(text: &str) -> String {
     out
 }
 
+/// An incremental JSON document writer: the single escaping/formatting
+/// path shared by the Chrome-trace exporter, the JSONL telemetry stream,
+/// the flight recorder, and the serve daemon's HTTP responses.
+///
+/// Commas are inserted automatically; the caller supplies structure:
+///
+/// ```
+/// use llmpilot_obs::json::JsonWriter;
+/// let mut w = JsonWriter::new();
+/// w.begin_object();
+/// w.key("name");
+/// w.string("A100");
+/// w.key("pods");
+/// w.u64(3);
+/// w.end_object();
+/// assert_eq!(w.finish(), r#"{"name":"A100","pods":3}"#);
+/// ```
+#[derive(Debug, Default)]
+pub struct JsonWriter {
+    out: String,
+    /// One entry per open container: whether a comma is due before the
+    /// next key/value at that level.
+    needs_comma: Vec<bool>,
+    /// A key was just written; the next value completes the pair.
+    after_key: bool,
+}
+
+impl JsonWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// A writer with a pre-reserved output buffer.
+    pub fn with_capacity(bytes: usize) -> Self {
+        JsonWriter { out: String::with_capacity(bytes), ..JsonWriter::default() }
+    }
+
+    fn before_item(&mut self) {
+        if self.after_key {
+            self.after_key = false;
+            return;
+        }
+        if let Some(due) = self.needs_comma.last_mut() {
+            if std::mem::replace(due, true) {
+                self.out.push(',');
+            }
+        }
+    }
+
+    /// Open an object (`{`).
+    pub fn begin_object(&mut self) {
+        self.before_item();
+        self.out.push('{');
+        self.needs_comma.push(false);
+    }
+
+    /// Close the innermost object (`}`).
+    pub fn end_object(&mut self) {
+        self.needs_comma.pop();
+        self.out.push('}');
+    }
+
+    /// Open an array (`[`).
+    pub fn begin_array(&mut self) {
+        self.before_item();
+        self.out.push('[');
+        self.needs_comma.push(false);
+    }
+
+    /// Close the innermost array (`]`).
+    pub fn end_array(&mut self) {
+        self.needs_comma.pop();
+        self.out.push(']');
+    }
+
+    /// Write an object key (escaped); the next value completes the pair.
+    pub fn key(&mut self, key: &str) {
+        self.before_item();
+        self.out.push('"');
+        self.out.push_str(&escape(key));
+        self.out.push_str("\":");
+        self.after_key = true;
+    }
+
+    /// Write a string value (escaped and quoted).
+    pub fn string(&mut self, value: &str) {
+        self.before_item();
+        self.out.push('"');
+        self.out.push_str(&escape(value));
+        self.out.push('"');
+    }
+
+    /// Write an unsigned integer value.
+    pub fn u64(&mut self, value: u64) {
+        self.before_item();
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write a signed integer value.
+    pub fn i64(&mut self, value: i64) {
+        self.before_item();
+        self.out.push_str(&value.to_string());
+    }
+
+    /// Write a float value. Integral floats gain a `.0` so they read back
+    /// as numbers; JSON has no NaN/Inf, so non-finite values are emitted
+    /// as their string form to keep the document valid.
+    pub fn f64(&mut self, value: f64) {
+        if !value.is_finite() {
+            self.string(&value.to_string());
+            return;
+        }
+        self.before_item();
+        let mut s = format!("{value}");
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            s.push_str(".0");
+        }
+        self.out.push_str(&s);
+    }
+
+    /// Write a boolean value.
+    pub fn bool(&mut self, value: bool) {
+        self.before_item();
+        self.out.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Write `null`.
+    pub fn null(&mut self) {
+        self.before_item();
+        self.out.push_str("null");
+    }
+
+    /// Write a pre-rendered JSON value verbatim (escape hatch for exact
+    /// decimal timestamps the `f64` path would round).
+    pub fn raw(&mut self, rendered: &str) {
+        self.before_item();
+        self.out.push_str(rendered);
+    }
+
+    /// Insert a raw newline into the output (cosmetic only; legal JSON
+    /// whitespace between values).
+    pub fn newline(&mut self) {
+        self.out.push('\n');
+    }
+
+    /// Finish and return the document text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -316,5 +468,53 @@ mod tests {
         assert_eq!(parse("7").unwrap().as_u64(), Some(7));
         assert_eq!(parse("-1").unwrap().as_u64(), None);
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
+    }
+
+    #[test]
+    fn writer_output_parses_back() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("items");
+        w.begin_array();
+        w.u64(1);
+        w.string("two\n");
+        w.f64(3.0);
+        w.bool(false);
+        w.null();
+        w.begin_object();
+        w.key("nested");
+        w.i64(-4);
+        w.end_object();
+        w.end_array();
+        w.key("raw");
+        w.raw("12.345");
+        w.end_object();
+        let doc = w.finish();
+        let v = parse(&doc).unwrap();
+        let items = v.get("items").unwrap().as_array().unwrap();
+        assert_eq!(items.len(), 6);
+        assert_eq!(items[1].as_str(), Some("two\n"));
+        assert_eq!(items[2].as_f64(), Some(3.0));
+        assert_eq!(items[5].get("nested").unwrap().as_f64(), Some(-4.0));
+        assert_eq!(v.get("raw").unwrap().as_f64(), Some(12.345));
+    }
+
+    #[test]
+    fn writer_handles_empty_containers_and_nonfinite_floats() {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.key("empty_arr");
+        w.begin_array();
+        w.end_array();
+        w.key("empty_obj");
+        w.begin_object();
+        w.end_object();
+        w.key("nan");
+        w.f64(f64::NAN);
+        w.end_object();
+        let doc = w.finish();
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("empty_arr").unwrap().as_array().unwrap().len(), 0);
+        assert_eq!(v.get("nan").unwrap().as_str(), Some("NaN"));
     }
 }

@@ -16,8 +16,16 @@
 //!   atomic counters and gauges, exported as Chrome `"C"` events.
 //! * [`chrome`] — Chrome `trace_event` JSON export (loadable in
 //!   `chrome://tracing` and Perfetto), [`summary`] — a plain-text
-//!   hierarchical profile, [`json`] — a tiny JSON parser, and [`check`] —
-//!   the structural validator behind the `trace-check` binary.
+//!   hierarchical profile, [`json`] — a tiny JSON parser plus the shared
+//!   [`json::JsonWriter`] emitter, and [`check`] — the structural
+//!   validators behind the `trace-check` binary.
+//! * [`hist`] — a log-linear HDR histogram (lock-free `AtomicU64`
+//!   buckets, ≤1% relative quantile error at the default resolution),
+//!   the single histogram type across the workspace.
+//! * [`events`] — a versioned JSONL telemetry stream ([`events::EventSink`])
+//!   plus the `llm-pilot watch` progress renderer.
+//! * [`flight`] — a bounded ring-buffer flight recorder (built on
+//!   [`Recorder::ring`]) for post-mortem dumps of failed sweep cells.
 //!
 //! Worker pools are safe by construction: `rayon`-style workers each
 //! register their own buffer on first use, and [`Recorder::snapshot`]
@@ -25,12 +33,15 @@
 
 pub mod check;
 pub mod chrome;
+pub mod events;
+pub mod flight;
+pub mod hist;
 pub mod json;
 pub mod summary;
 
 use std::borrow::Cow;
 use std::cell::RefCell;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::Instant;
@@ -138,7 +149,7 @@ impl Trace {
 #[derive(Debug)]
 struct ThreadBuf {
     tid: u64,
-    events: Mutex<Vec<SpanEvent>>,
+    events: Mutex<VecDeque<SpanEvent>>,
 }
 
 #[derive(Debug)]
@@ -152,6 +163,9 @@ struct Inner {
     counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
     gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
     spans_recorded: AtomicU64,
+    /// `Some(n)`: each thread buffer keeps only the most recent `n`
+    /// completed spans (ring-buffer mode, used by [`flight`]).
+    per_thread_capacity: Option<usize>,
 }
 
 struct LocalState {
@@ -175,7 +189,7 @@ impl Inner {
     /// Register the calling thread: allocate a dense tid and a buffer.
     fn register_thread(&self) -> LocalState {
         let tid = self.next_tid.fetch_add(1, Ordering::Relaxed);
-        let buf = Arc::new(ThreadBuf { tid, events: Mutex::new(Vec::new()) });
+        let buf = Arc::new(ThreadBuf { tid, events: Mutex::new(VecDeque::new()) });
         self.threads.lock().unwrap_or_else(PoisonError::into_inner).push(Arc::clone(&buf));
         LocalState { buf, stack: Vec::new() }
     }
@@ -214,6 +228,18 @@ pub struct Recorder {
 impl Recorder {
     /// A recorder that captures spans, counters, and gauges.
     pub fn enabled() -> Self {
+        Recorder::build(None)
+    }
+
+    /// A bounded recorder: each thread's buffer keeps only the most
+    /// recent `capacity` completed spans, older spans are evicted FIFO.
+    /// This is the storage behind [`flight::FlightRecorder`]; counters
+    /// and gauges are unaffected by the bound.
+    pub fn ring(capacity: usize) -> Self {
+        Recorder::build(Some(capacity.max(1)))
+    }
+
+    fn build(per_thread_capacity: Option<usize>) -> Self {
         Recorder {
             inner: Some(Arc::new(Inner {
                 id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
@@ -224,6 +250,7 @@ impl Recorder {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
                 spans_recorded: AtomicU64::new(0),
+                per_thread_capacity,
             })),
         }
     }
@@ -391,7 +418,13 @@ impl Drop for Span {
             }
             let mut event = event;
             event.tid = thread_state.buf.tid;
-            thread_state.buf.events.lock().unwrap_or_else(PoisonError::into_inner).push(event);
+            let mut events = thread_state.buf.events.lock().unwrap_or_else(PoisonError::into_inner);
+            if let Some(cap) = state.inner.per_thread_capacity {
+                while events.len() >= cap {
+                    events.pop_front();
+                }
+            }
+            events.push_back(event);
         });
         state.inner.spans_recorded.fetch_add(1, Ordering::Relaxed);
     }
@@ -530,6 +563,27 @@ mod tests {
         // Distinct threads got distinct tids.
         let tids: std::collections::BTreeSet<u64> = trace.events.iter().map(|e| e.tid).collect();
         assert_eq!(tids.len(), 4);
+    }
+
+    #[test]
+    fn ring_recorder_keeps_only_the_most_recent_spans() {
+        let rec = Recorder::ring(3);
+        for i in 0..10u64 {
+            let _s = rec.span("s").arg("i", i);
+        }
+        let trace = rec.snapshot();
+        assert_eq!(trace.events.len(), 3);
+        let kept: Vec<u64> = trace
+            .events
+            .iter()
+            .map(|e| match &e.args[0].1 {
+                ArgValue::U64(v) => *v,
+                other => panic!("unexpected arg {other:?}"),
+            })
+            .collect();
+        assert_eq!(kept, vec![7, 8, 9], "eviction must be FIFO");
+        // All ten drops were still counted.
+        assert_eq!(rec.spans_recorded(), 10);
     }
 
     #[test]

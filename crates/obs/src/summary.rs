@@ -1,31 +1,40 @@
 //! Plain-text hierarchical span summary.
 //!
 //! Groups spans by their *name path* (root span name → … → span name) and
-//! reports, per path: call count, total inclusive time, and p50/p99
+//! reports, per path: call count, total inclusive time, and p50/p95/p99
 //! **self-time** — the span's duration minus the duration of its direct
 //! children, i.e. time actually spent in that phase rather than delegated.
+//! Self-times feed an [`hist::Histogram`], so the percentiles are true
+//! tail quantiles (≤1% relative error), and the table is sorted by
+//! cumulative (inclusive) time descending so the most expensive subtree
+//! reads first.
 
 use std::collections::{BTreeMap, HashMap};
 
+use crate::hist::Histogram;
 use crate::Trace;
 
 /// Guard against corrupted parent links; real traces nest far shallower.
 const MAX_DEPTH: usize = 64;
 
 #[derive(Default)]
-struct PathStats {
+struct Node {
     count: u64,
     total_ns: u64,
-    self_ns: Vec<u64>,
+    self_times: Option<Histogram>,
+    children: BTreeMap<String, Node>,
 }
 
-fn percentile_ns(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
+impl Node {
+    /// Inclusive time used for ordering: a node that never recorded
+    /// itself (e.g. an `<orphan>` placeholder) sorts by its subtree.
+    fn sort_total(&self) -> u64 {
+        if self.count > 0 {
+            self.total_ns
+        } else {
+            self.children.values().map(Node::sort_total).sum()
+        }
     }
-    // Nearest-rank on the sorted sample.
-    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
-    sorted[rank.min(sorted.len()) - 1]
 }
 
 fn fmt_ms(ns: u64) -> String {
@@ -34,6 +43,29 @@ fn fmt_ms(ns: u64) -> String {
 
 fn fmt_us(ns: u64) -> String {
     format!("{:.1}", ns as f64 / 1e3)
+}
+
+fn render(out: &mut String, name: &str, node: &Node, depth: usize) {
+    if node.count > 0 {
+        let label = format!("{}{}", "  ".repeat(depth), name);
+        let hist = node.self_times.as_ref();
+        let q = |q: f64| hist.map_or(0, |h| h.quantile(q));
+        out.push_str(&format!(
+            "{:<52} {:>9} {:>12} {:>13} {:>13} {:>13}\n",
+            label,
+            node.count,
+            fmt_ms(node.total_ns),
+            fmt_us(q(0.50)),
+            fmt_us(q(0.95)),
+            fmt_us(q(0.99)),
+        ));
+    }
+    // Children by cumulative time descending; name breaks ties stably.
+    let mut children: Vec<(&String, &Node)> = node.children.iter().collect();
+    children.sort_by(|a, b| b.1.sort_total().cmp(&a.1.sort_total()).then(a.0.cmp(b.0)));
+    for (child_name, child) in children {
+        render(out, child_name, child, depth + 1);
+    }
 }
 
 /// Render the hierarchical summary of `trace` as aligned plain text.
@@ -49,8 +81,9 @@ pub fn summarize(trace: &Trace) -> String {
         }
     }
 
-    // Name path per span: walk parent links (bounded, cycle-safe).
-    let mut stats: BTreeMap<Vec<String>, PathStats> = BTreeMap::new();
+    // Fold every span into the path tree; parent links are walked
+    // bounded and cycle-safe.
+    let mut root = Node::default();
     for e in &trace.events {
         let mut path = vec![e.name.to_string()];
         let mut cursor = e.parent;
@@ -70,32 +103,25 @@ pub fn summarize(trace: &Trace) -> String {
             }
         }
         path.reverse();
-        let entry = stats.entry(path).or_default();
-        entry.count += 1;
-        entry.total_ns += e.duration_ns();
-        entry
-            .self_ns
-            .push(e.duration_ns().saturating_sub(child_ns.get(&e.id).copied().unwrap_or(0)));
+        let mut node = &mut root;
+        for part in path {
+            node = node.children.entry(part).or_default();
+        }
+        node.count += 1;
+        node.total_ns += e.duration_ns();
+        let self_ns = e.duration_ns().saturating_sub(child_ns.get(&e.id).copied().unwrap_or(0));
+        node.self_times.get_or_insert_with(Histogram::default).record(self_ns);
     }
 
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<52} {:>9} {:>12} {:>13} {:>13}\n",
-        "span", "count", "total ms", "p50 self µs", "p99 self µs"
+        "{:<52} {:>9} {:>12} {:>13} {:>13} {:>13}\n",
+        "span", "count", "total ms", "p50 self µs", "p95 self µs", "p99 self µs"
     ));
-    for (path, s) in &mut stats {
-        s.self_ns.sort_unstable();
-        let depth = path.len() - 1;
-        let label =
-            format!("{}{}", "  ".repeat(depth), path.last().map(String::as_str).unwrap_or("?"));
-        out.push_str(&format!(
-            "{:<52} {:>9} {:>12} {:>13} {:>13}\n",
-            label,
-            s.count,
-            fmt_ms(s.total_ns),
-            fmt_us(percentile_ns(&s.self_ns, 50.0)),
-            fmt_us(percentile_ns(&s.self_ns, 99.0)),
-        ));
+    let mut top: Vec<(&String, &Node)> = root.children.iter().collect();
+    top.sort_by(|a, b| b.1.sort_total().cmp(&a.1.sort_total()).then(a.0.cmp(b.0)));
+    for (name, node) in top {
+        render(&mut out, name, node, 0);
     }
 
     if !trace.counters.is_empty() || !trace.gauges.is_empty() {
@@ -131,6 +157,7 @@ mod tests {
         assert!(outer_line.split_whitespace().any(|w| w == "3"));
         assert!(text.contains("things"));
         assert!(text.contains("42"));
+        assert!(text.contains("p95 self µs"));
     }
 
     #[test]
@@ -155,9 +182,11 @@ mod tests {
             gauges: vec![],
         };
         let text = summarize(&trace);
-        // Root self time = 10 - 8 = 2 ms = 2000 µs.
+        // Root self time = 10 - 8 = 2 ms = 2000 µs, within the ≤1%
+        // histogram resolution.
         let root_line = text.lines().find(|l| l.starts_with("root")).unwrap();
-        assert!(root_line.contains("2000.0"), "expected 2000 µs self time: {root_line:?}");
+        let p50: f64 = root_line.split_whitespace().nth(3).unwrap().parse().unwrap();
+        assert!((p50 - 2000.0).abs() <= 20.0, "expected ≈2000 µs self time: {root_line:?}");
     }
 
     #[test]
@@ -182,11 +211,31 @@ mod tests {
     }
 
     #[test]
-    fn percentiles_nearest_rank() {
-        let sorted: Vec<u64> = (1..=100).collect();
-        assert_eq!(percentile_ns(&sorted, 50.0), 50);
-        assert_eq!(percentile_ns(&sorted, 99.0), 99);
-        assert_eq!(percentile_ns(&[7], 99.0), 7);
-        assert_eq!(percentile_ns(&[], 50.0), 0);
+    fn table_is_sorted_by_cumulative_time_descending() {
+        use crate::{SpanEvent, Trace};
+        use std::borrow::Cow;
+        let mk = |name: &str, id, begin_ns, end_ns| SpanEvent {
+            name: Cow::Owned(name.to_string()),
+            id,
+            parent: None,
+            tid: 1,
+            begin_ns,
+            end_ns,
+            args: vec![],
+        };
+        let trace = Trace {
+            // "cheap" first in time, but "expensive" must print first.
+            events: vec![
+                mk("cheap", 1, 0, 1_000),
+                mk("expensive", 2, 2_000, 50_000_000),
+                mk("middling", 3, 1_000, 2_000_000),
+            ],
+            counters: vec![],
+            gauges: vec![],
+        };
+        let text = summarize(&trace);
+        let pos = |name: &str| text.find(name).unwrap();
+        assert!(pos("expensive") < pos("middling"), "{text}");
+        assert!(pos("middling") < pos("cheap"), "{text}");
     }
 }

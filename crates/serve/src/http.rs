@@ -337,21 +337,11 @@ impl Response {
     }
 }
 
-/// Escape a string for embedding in a JSON string literal.
+/// Escape a string for embedding in a JSON string literal. Delegates to
+/// the shared [`llmpilot_obs::json::escape`] so every JSON emitter in the
+/// workspace agrees on one escaping.
 pub fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
+    llmpilot_obs::json::escape(s)
 }
 
 #[cfg(test)]

@@ -2,17 +2,25 @@
 //!
 //! Everything is a lock-free atomic: counters are monotonically
 //! increasing, gauges are last-write-wins, and the request-latency
-//! histogram uses fixed microsecond-resolution buckets. A scrape renders
-//! the whole registry with relaxed loads — values may be a few
-//! nanoseconds apart, which Prometheus semantics explicitly allow.
+//! histogram is an HDR [`Histogram`] (log-linear buckets, ≤1% relative
+//! error), rendered both as classic cumulative Prometheus buckets at the
+//! [`LATENCY_BUCKETS_S`] bounds and as p50/p95/p99/p999 quantile gauges.
+//! A scrape renders the whole registry with relaxed loads — values may be
+//! a few nanoseconds apart, which Prometheus semantics explicitly allow.
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use llmpilot_obs::hist::Histogram;
+
 /// Histogram bucket upper bounds, seconds.
 pub const LATENCY_BUCKETS_S: [f64; 12] =
     [0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 1.0];
+
+/// Quantiles exported as gauges from the latency histogram.
+const LATENCY_QUANTILES: [(f64, &str); 4] =
+    [(0.50, "0.5"), (0.95, "0.95"), (0.99, "0.99"), (0.999, "0.999")];
 
 /// Routes the daemon distinguishes in its request counters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,10 +77,8 @@ pub struct Metrics {
     reloads: AtomicU64,
     retrains_ok: AtomicU64,
     retrains_failed: AtomicU64,
-    latency_buckets: [AtomicU64; LATENCY_BUCKETS_S.len()],
-    latency_overflow: AtomicU64,
+    latency: Histogram,
     latency_sum_us: AtomicU64,
-    latency_count: AtomicU64,
     trace_spans: AtomicU64,
 }
 
@@ -104,13 +110,8 @@ impl Metrics {
 
     /// Observe one request's service latency.
     pub fn record_latency(&self, elapsed: Duration) {
-        let secs = elapsed.as_secs_f64();
-        match LATENCY_BUCKETS_S.iter().position(|&ub| secs <= ub) {
-            Some(i) => self.latency_buckets[i].fetch_add(1, Ordering::Relaxed),
-            None => self.latency_overflow.fetch_add(1, Ordering::Relaxed),
-        };
+        self.latency.record_secs(elapsed.as_secs_f64());
         self.latency_sum_us.fetch_add(elapsed.as_micros() as u64, Ordering::Relaxed);
-        self.latency_count.fetch_add(1, Ordering::Relaxed);
     }
 
     /// A connection was admitted to the worker queue.
@@ -258,23 +259,34 @@ impl Metrics {
             "# HELP llmpilot_request_duration_seconds Service latency of handled requests.\n",
         );
         out.push_str("# TYPE llmpilot_request_duration_seconds histogram\n");
-        let mut cumulative = 0u64;
-        for (i, ub) in LATENCY_BUCKETS_S.iter().enumerate() {
-            cumulative += g(&self.latency_buckets[i]);
-            let _ = writeln!(
-                out,
-                "llmpilot_request_duration_seconds_bucket{{le=\"{ub}\"}} {cumulative}"
-            );
+        // Cumulative buckets at the classic bounds, backed by the HDR
+        // histogram: `count_le` counts every sample recorded at or below
+        // each bound (to the histogram's ≤1% value resolution).
+        let count = self.latency.count();
+        for ub in LATENCY_BUCKETS_S {
+            let le = self.latency.count_le((ub * 1e9).round() as u64);
+            let _ = writeln!(out, "llmpilot_request_duration_seconds_bucket{{le=\"{ub}\"}} {le}");
         }
-        cumulative += g(&self.latency_overflow);
-        let _ =
-            writeln!(out, "llmpilot_request_duration_seconds_bucket{{le=\"+Inf\"}} {cumulative}");
+        let _ = writeln!(out, "llmpilot_request_duration_seconds_bucket{{le=\"+Inf\"}} {count}");
         let _ = writeln!(
             out,
             "llmpilot_request_duration_seconds_sum {}",
             g(&self.latency_sum_us) as f64 / 1e6
         );
-        let _ = writeln!(out, "llmpilot_request_duration_seconds_count {}", g(&self.latency_count));
+        let _ = writeln!(out, "llmpilot_request_duration_seconds_count {count}");
+
+        out.push_str(
+            "# HELP llmpilot_request_latency_quantile_seconds Service latency tail quantiles \
+             (HDR histogram, <=1% relative error).\n",
+        );
+        out.push_str("# TYPE llmpilot_request_latency_quantile_seconds gauge\n");
+        for (q, label) in LATENCY_QUANTILES {
+            let _ = writeln!(
+                out,
+                "llmpilot_request_latency_quantile_seconds{{quantile=\"{label}\"}} {}",
+                self.latency.quantile(q) as f64 / 1e9
+            );
+        }
         out
     }
 }
@@ -328,5 +340,39 @@ mod tests {
         assert!(text.contains("llmpilot_request_duration_seconds_bucket{le=\"0.0001\"} 1"));
         assert!(text.contains("llmpilot_request_duration_seconds_bucket{le=\"0.0005\"} 2"));
         assert!(text.contains("llmpilot_request_duration_seconds_bucket{le=\"1\"} 2"));
+        // Each bucket count never decreases as the bound grows.
+        let counts: Vec<u64> = text
+            .lines()
+            .filter(|l| l.starts_with("llmpilot_request_duration_seconds_bucket"))
+            .map(|l| l.split_whitespace().last().unwrap().parse().unwrap())
+            .collect();
+        assert_eq!(counts.len(), LATENCY_BUCKETS_S.len() + 1);
+        assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{counts:?}");
+    }
+
+    #[test]
+    fn latency_quantile_gauges_are_accurate_and_ordered() {
+        let m = Metrics::new();
+        // 1..=1000 µs uniformly: p50 ≈ 500 µs, p99 ≈ 990 µs.
+        for us in 1..=1000u64 {
+            m.record_latency(Duration::from_micros(us));
+        }
+        let text = m.render();
+        let q = |label: &str| -> f64 {
+            let needle =
+                format!("llmpilot_request_latency_quantile_seconds{{quantile=\"{label}\"}}");
+            text.lines()
+                .find(|l| l.starts_with(&needle))
+                .unwrap_or_else(|| panic!("missing {needle} in {text}"))
+                .split_whitespace()
+                .last()
+                .unwrap()
+                .parse()
+                .unwrap()
+        };
+        let (p50, p95, p99, p999) = (q("0.5"), q("0.95"), q("0.99"), q("0.999"));
+        assert!((p50 - 500e-6).abs() / 500e-6 < 0.01, "p50 = {p50}");
+        assert!((p99 - 990e-6).abs() / 990e-6 < 0.01, "p99 = {p99}");
+        assert!(p50 <= p95 && p95 <= p99 && p99 <= p999);
     }
 }

@@ -24,10 +24,12 @@ use std::time::{Duration, Instant};
 use llmpilot_core::{
     online_predictor_config, CoreError, LatencyConstraints, PredictorConfig, RecommendationRequest,
 };
-use llmpilot_obs::Recorder;
+use llmpilot_obs::events::EventSink;
+use llmpilot_obs::json::JsonWriter;
+use llmpilot_obs::{ArgValue, Recorder};
 
 use crate::cache::LruCache;
-use crate::http::{json_escape, parse_request, Limits, Request, Response};
+use crate::http::{parse_request, Limits, Request, Response};
 use crate::metrics::{Metrics, Route};
 use crate::registry::ModelRegistry;
 use crate::store::DatasetStore;
@@ -100,6 +102,9 @@ pub struct ServeConfig {
     pub trace_out: Option<PathBuf>,
     /// Print a hierarchical span summary to stderr at shutdown.
     pub trace_summary: bool,
+    /// JSONL telemetry stream: startup, hot reloads, and retrains are
+    /// appended here as versioned events. Disabled by default.
+    pub events: EventSink,
 }
 
 impl ServeConfig {
@@ -120,6 +125,7 @@ impl ServeConfig {
             recorder: Recorder::disabled(),
             trace_out: None,
             trace_summary: false,
+            events: EventSink::disabled(),
         }
     }
 }
@@ -254,8 +260,30 @@ impl Server {
             );
         }
 
+        ctx.config.events.emit(
+            "serve.started",
+            &[
+                ("addr", ArgValue::Str(addr.to_string())),
+                ("workers", ArgValue::U64(ctx.config.workers as u64)),
+                ("dataset_generation", ArgValue::U64(generation)),
+                ("model_generation", ArgValue::U64(model_generation)),
+            ],
+        );
         Ok(ServerHandle { addr, ctx, threads })
     }
+}
+
+/// Append a reload/retrain outcome to the telemetry stream. `source` is
+/// `"watch"` (mtime watcher) or `"reload"` (`POST /reload`).
+fn emit_reload_event(ctx: &Ctx, source: &str, ok: bool, generation: u64, model_generation: u64) {
+    ctx.config.events.emit(
+        if ok { "serve.reloaded" } else { "serve.retrain_failed" },
+        &[
+            ("source", ArgValue::Str(source.to_string())),
+            ("dataset_generation", ArgValue::U64(generation)),
+            ("model_generation", ArgValue::U64(model_generation)),
+        ],
+    );
 }
 
 /// Accept connections and queue them; answer 503 when the queue is full.
@@ -329,8 +357,14 @@ fn watcher_loop(ctx: &Ctx) {
                 ctx.metrics.record_reload(outcome.generation);
                 let (dataset, generation) = ctx.store.snapshot();
                 match ctx.registry.train_and_swap(&dataset, generation) {
-                    Ok(model_generation) => ctx.metrics.record_retrain(true, model_generation),
-                    Err(_) => ctx.metrics.record_retrain(false, 0),
+                    Ok(model_generation) => {
+                        ctx.metrics.record_retrain(true, model_generation);
+                        emit_reload_event(ctx, "watch", true, generation, model_generation);
+                    }
+                    Err(_) => {
+                        ctx.metrics.record_retrain(false, 0);
+                        emit_reload_event(ctx, "watch", false, generation, 0);
+                    }
                 }
             }
         }
@@ -382,7 +416,7 @@ fn handle_connection(ctx: &Ctx, stream: TcpStream) {
                     let trace_id = ctx.next_trace_id.fetch_add(1, Ordering::Relaxed);
                     ctx.metrics.record_request(Route::Other);
                     ctx.metrics.record_response(status);
-                    let body = format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()));
+                    let body = error_body(&e.to_string());
                     let _ = Response::json(status, body)
                         .with_header("X-Trace-Id", format!("{trace_id:08x}"))
                         .write_to(&mut writer, false);
@@ -412,7 +446,12 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
         ("GET", "/healthz") => {
             ctx.metrics.record_request(Route::Health);
             let ready = ctx.registry.current().is_some();
-            Response::json(if ready { 200 } else { 503 }, format!("{{\"ready\":{ready}}}"))
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("ready");
+            w.bool(ready);
+            w.end_object();
+            Response::json(if ready { 200 } else { 503 }, w.finish())
         }
         ("GET" | "POST", _) => {
             ctx.metrics.record_request(Route::Other);
@@ -425,6 +464,16 @@ fn route(ctx: &Ctx, request: &Request) -> Response {
     }
 }
 
+/// `{"error": msg}` rendered through the shared JSON writer.
+fn error_body(msg: &str) -> String {
+    let mut w = JsonWriter::new();
+    w.begin_object();
+    w.key("error");
+    w.string(msg);
+    w.end_object();
+    w.finish()
+}
+
 /// Parse a positive float query parameter.
 fn float_param(request: &Request, key: &str, default: f64) -> Result<f64, Response> {
     match request.query_param(key) {
@@ -433,11 +482,7 @@ fn float_param(request: &Request, key: &str, default: f64) -> Result<f64, Respon
             Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
             _ => Err(Response::json(
                 400,
-                format!(
-                    "{{\"error\":\"{} must be a positive number, got {}\"}}",
-                    key,
-                    json_escape(raw)
-                ),
+                error_body(&format!("{key} must be a positive number, got {raw}")),
             )),
         },
     }
@@ -455,10 +500,7 @@ fn handle_recommend(ctx: &Ctx, request: &Request) -> Response {
             _ => {
                 return Response::json(
                     400,
-                    format!(
-                        "{{\"error\":\"users must be an integer in [1, 1e7], got {}\"}}",
-                        json_escape(raw)
-                    ),
+                    error_body(&format!("users must be an integer in [1, 1e7], got {raw}")),
                 )
             }
         },
@@ -501,35 +543,44 @@ fn handle_recommend(ctx: &Ctx, request: &Request) -> Response {
     };
     match trained.serving.recommend(model_name, &req) {
         Ok(rec) => {
-            let body = format!(
-                "{{\"llm\":\"{}\",\"profile\":\"{}\",\"pods\":{},\"u_max\":{},\
-                 \"cost_per_hour\":{:.4},\"dataset_generation\":{},\"model_generation\":{}}}",
-                json_escape(model_name),
-                json_escape(&rec.profile),
-                rec.pods,
-                rec.u_max,
-                rec.cost_per_hour,
-                dataset_generation,
-                trained.model_generation,
-            );
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("llm");
+            w.string(model_name);
+            w.key("profile");
+            w.string(&rec.profile);
+            w.key("pods");
+            w.u64(rec.pods as u64);
+            w.key("u_max");
+            w.u64(rec.u_max as u64);
+            w.key("cost_per_hour");
+            // Keep the historical 4-decimal rendering of the dollar figure.
+            w.raw(&format!("{:.4}", rec.cost_per_hour));
+            w.key("dataset_generation");
+            w.u64(dataset_generation);
+            w.key("model_generation");
+            w.u64(trained.model_generation);
+            w.end_object();
+            let body = w.finish();
             if let Ok(mut cache) = ctx.cache.lock() {
                 cache.put(key, body.clone());
             }
             Response::json(200, body).with_header("X-Cache", "miss")
         }
-        Err(CoreError::Parse(msg)) => {
-            Response::json(400, format!("{{\"error\":\"{}\"}}", json_escape(&msg)))
+        Err(CoreError::Parse(msg)) => Response::json(400, error_body(&msg)),
+        Err(CoreError::NoFeasibleRecommendation) => {
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("error");
+            w.string("no GPU profile satisfies the requirements");
+            w.key("dataset_generation");
+            w.u64(dataset_generation);
+            w.key("model_generation");
+            w.u64(trained.model_generation);
+            w.end_object();
+            Response::json(404, w.finish())
         }
-        Err(CoreError::NoFeasibleRecommendation) => Response::json(
-            404,
-            format!(
-                "{{\"error\":\"no GPU profile satisfies the requirements\",\
-                 \"dataset_generation\":{dataset_generation},\
-                 \"model_generation\":{}}}",
-                trained.model_generation
-            ),
-        ),
-        Err(e) => Response::json(500, format!("{{\"error\":\"{}\"}}", json_escape(&e.to_string()))),
+        Err(e) => Response::json(500, error_body(&e.to_string())),
     }
 }
 
@@ -545,34 +596,30 @@ fn handle_reload(ctx: &Ctx) -> Response {
                 match ctx.registry.train_and_swap(&dataset, generation) {
                     Ok(model_generation) => {
                         ctx.metrics.record_retrain(true, model_generation);
+                        emit_reload_event(ctx, "reload", true, generation, model_generation);
                     }
                     Err(e) => {
                         ctx.metrics.record_retrain(false, 0);
-                        return Response::json(
-                            500,
-                            format!(
-                                "{{\"error\":\"retraining failed: {}\"}}",
-                                json_escape(&e.to_string())
-                            ),
-                        );
+                        emit_reload_event(ctx, "reload", false, generation, 0);
+                        return Response::json(500, error_body(&format!("retraining failed: {e}")));
                     }
                 }
             }
             let model_generation = ctx.registry.current().map_or(0, |m| m.model_generation);
-            Response::json(
-                200,
-                format!(
-                    "{{\"reloaded\":{},\"dataset_generation\":{},\"model_generation\":{}}}",
-                    outcome.changed, outcome.generation, model_generation
-                ),
-            )
+            let mut w = JsonWriter::new();
+            w.begin_object();
+            w.key("reloaded");
+            w.bool(outcome.changed);
+            w.key("dataset_generation");
+            w.u64(outcome.generation);
+            w.key("model_generation");
+            w.u64(model_generation);
+            w.end_object();
+            Response::json(200, w.finish())
         }
         Err(e) => Response::json(
             400,
-            format!(
-                "{{\"error\":\"reload rejected, previous dataset still serving: {}\"}}",
-                json_escape(&e.to_string())
-            ),
+            error_body(&format!("reload rejected, previous dataset still serving: {e}")),
         ),
     }
 }

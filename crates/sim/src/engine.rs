@@ -14,7 +14,9 @@
 //! parallelize across threads at a higher level (see [`crate::cluster`]).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
+use llmpilot_obs::hist::Histogram;
 use llmpilot_obs::Recorder;
 
 use crate::error::SimError;
@@ -106,6 +108,18 @@ impl RunningRequest {
     }
 }
 
+/// Per-phase duration histograms (virtual seconds, recorded as
+/// nanoseconds): one sample per iteration's decode component and one per
+/// admitted request's prefill cost. Shared via `Arc` so a sweep can
+/// aggregate across many engine instances; recording is lock-free.
+#[derive(Debug, Default)]
+pub struct PhaseHists {
+    /// Prompt-processing cost per admitted request.
+    pub prefill: Histogram,
+    /// Decode-step cost per iteration with running sequences.
+    pub decode: Histogram,
+}
+
 /// Continuous-batching engine for one pod.
 #[derive(Debug, Clone)]
 pub struct Engine {
@@ -123,6 +137,8 @@ pub struct Engine {
     /// Structured-trace sink; [`Recorder::disabled`] by default, so the
     /// hot loop pays only an `Option` branch per phase.
     recorder: Recorder,
+    /// Optional per-phase duration histograms; `None` costs one branch.
+    phase_hists: Option<Arc<PhaseHists>>,
 }
 
 impl Engine {
@@ -141,6 +157,7 @@ impl Engine {
             total_tokens_emitted: 0,
             preemptions: 0,
             recorder: Recorder::disabled(),
+            phase_hists: None,
         }
     }
 
@@ -157,6 +174,15 @@ impl Engine {
     /// The attached trace recorder (disabled unless set).
     pub fn recorder(&self) -> &Recorder {
         &self.recorder
+    }
+
+    /// Attach shared per-phase duration histograms (builder style): every
+    /// subsequent [`Engine::step`] records its decode-step cost and each
+    /// admitted request's prefill cost into [`PhaseHists`]. Recording
+    /// never perturbs the simulation — virtual time is read, not changed.
+    pub fn with_phase_hists(mut self, hists: Arc<PhaseHists>) -> Self {
+        self.phase_hists = Some(hists);
+        self
     }
 
     /// Switch the admission policy (builder style). The engine must be
@@ -348,7 +374,11 @@ impl Engine {
             let kv_tokens: u64 = self.running.iter().map(|r| r.kv_tokens()).sum::<u64>()
                 + admitted.iter().map(|r| r.kv_tokens()).sum::<u64>();
             if old_seqs > 0 {
-                self.perf.decode_step_time(old_seqs, kv_tokens)
+                let t = self.perf.decode_step_time(old_seqs, kv_tokens);
+                if let Some(h) = &self.phase_hists {
+                    h.decode.record_secs(t);
+                }
+                t
             } else {
                 0.0
             }
@@ -360,8 +390,12 @@ impl Engine {
         {
             let _span = self.recorder.span("engine.prefill");
             for r in &admitted {
-                step_time += self.perf.prefill_time(r.spec.input_tokens + r.generated)
+                let t = self.perf.prefill_time(r.spec.input_tokens + r.generated)
                     * r.spec.batch_size as f64;
+                if let Some(h) = &self.phase_hists {
+                    h.prefill.record_secs(t);
+                }
+                step_time += t;
             }
         }
         let now = self.clock + step_time;
@@ -488,6 +522,36 @@ mod tests {
         }
         assert!(trace.counters.iter().any(|(n, v)| n == "engine.steps" && *v == steps));
         assert!(trace.counters.iter().any(|(n, v)| n == "engine.tokens_emitted" && *v == 5));
+    }
+
+    #[test]
+    fn phase_hists_capture_prefill_and_decode_without_perturbing() {
+        let run = |hists: Option<Arc<PhaseHists>>| {
+            let mut e = engine(600);
+            if let Some(h) = hists {
+                e = e.with_phase_hists(h);
+            }
+            for _ in 0..4 {
+                e.submit(RequestSpec::new(300, 50)).unwrap();
+            }
+            let mut times = Vec::new();
+            while e.has_work() {
+                for c in e.step().completions {
+                    times.push((c.time, c.id));
+                }
+            }
+            (times, e.clock())
+        };
+        let hists = Arc::new(PhaseHists::default());
+        let observed = run(Some(Arc::clone(&hists)));
+        let plain = run(None);
+        assert_eq!(plain, observed, "phase hists must not perturb the simulation");
+        // One prefill sample per admission (4 fresh requests, no
+        // preemption under ReserveFull) and many decode samples.
+        assert_eq!(hists.prefill.count(), 4);
+        assert!(hists.decode.count() > 0);
+        assert!(hists.prefill.quantile(0.5) > 0, "prefill durations are positive");
+        assert!(hists.decode.quantile(0.99) >= hists.decode.quantile(0.5));
     }
 
     #[test]

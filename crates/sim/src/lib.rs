@@ -40,12 +40,15 @@ pub mod tuner;
 /// Convenient re-exports of the crate's main types.
 pub mod prelude {
     pub use crate::cluster::{ClusterMetrics, Deployment};
-    pub use crate::engine::{AdmissionPolicy, Engine, RequestId, StepResult};
+    pub use crate::engine::{AdmissionPolicy, Engine, PhaseHists, RequestId, StepResult};
     pub use crate::error::SimError;
     pub use crate::fault::{FaultConfig, FaultPlan, LatencyNoise, LoadFaults};
     pub use crate::gpu::{self, GpuProfile, GpuSpec};
     pub use crate::llm::{self, LlmSpec};
-    pub use crate::load::{run_load_test, run_load_test_faulty, LoadMetrics, LoadTestConfig};
+    pub use crate::load::{
+        run_load_test, run_load_test_faulty, run_load_test_observed, LoadMetrics, LoadTestConfig,
+        SampleHists,
+    };
     pub use crate::memory::{Feasibility, MemoryConfig, MemoryModel};
     pub use crate::perf_model::{PerfModel, PerfModelConfig};
     pub use crate::request::{FixedSource, RequestSource, RequestSpec};

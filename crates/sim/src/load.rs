@@ -10,6 +10,8 @@
 
 use std::collections::HashMap;
 
+use llmpilot_obs::hist::Histogram;
+
 use crate::engine::{Engine, RequestId};
 use crate::error::SimError;
 use crate::fault::LoadFaults;
@@ -106,6 +108,18 @@ pub fn fit_request(mem: &MemoryModel, max_batch_weight: u64, spec: RequestSpec) 
     RequestSpec { input_tokens: input, output_tokens: output, batch_size: max_batch as u32 }
 }
 
+/// Optional per-sample sinks for a load test: every individual normalized
+/// TTFT and inter-token gap that contributes to [`LoadMetrics`] is also
+/// recorded here (virtual seconds → nanoseconds), giving true tail
+/// quantiles instead of only the fixed percentiles the metrics expose.
+#[derive(Debug, Default)]
+pub struct SampleHists {
+    /// Normalized TTFT (TTFT / input tokens) per tracked request.
+    pub nttft: Histogram,
+    /// Inter-token latency per emitted token gap.
+    pub itl: Histogram,
+}
+
 #[derive(Debug, Clone, Copy)]
 struct InFlight {
     user: u32,
@@ -139,6 +153,21 @@ pub fn run_load_test_faulty<S: RequestSource + ?Sized>(
     source: &mut S,
     config: &LoadTestConfig,
     faults: &mut LoadFaults,
+) -> Result<LoadMetrics, SimError> {
+    run_load_test_observed(engine, mem, source, config, faults, None)
+}
+
+/// [`run_load_test_faulty`] with optional per-sample observation: when
+/// `hists` is given, every normalized-TTFT and inter-token-latency sample
+/// (including censored TTFT lower bounds) is also recorded into the
+/// histograms. Observation never changes the returned metrics.
+pub fn run_load_test_observed<S: RequestSource + ?Sized>(
+    engine: &mut Engine,
+    mem: &MemoryModel,
+    source: &mut S,
+    config: &LoadTestConfig,
+    faults: &mut LoadFaults,
+    hists: Option<&SampleHists>,
 ) -> Result<LoadMetrics, SimError> {
     let users = config.concurrent_users;
     assert!(users >= 1, "load test needs at least one user");
@@ -181,11 +210,17 @@ pub fn run_load_test_faulty<S: RequestSource + ?Sized>(
                     let ttft = em.time - fl.submitted_at;
                     ttfts.push(ttft);
                     nttfts.push(ttft / fl.input_tokens as f64);
+                    if let Some(h) = hists {
+                        h.nttft.record_secs(ttft / fl.input_tokens as f64);
+                    }
                 }
                 fl.first_token_at = Some(em.time);
             } else if let Some(prev) = fl.last_token_at {
                 if em.time >= warmup {
                     gaps.push(em.time - prev);
+                    if let Some(h) = hists {
+                        h.itl.record_secs(em.time - prev);
+                    }
                 }
             }
             fl.last_token_at = Some(em.time);
@@ -225,6 +260,9 @@ pub fn run_load_test_faulty<S: RequestSource + ?Sized>(
             if waited > 0.0 {
                 ttfts.push(waited);
                 nttfts.push(waited / fl.input_tokens as f64);
+                if let Some(h) = hists {
+                    h.nttft.record_secs(waited / fl.input_tokens as f64);
+                }
             }
         }
     }
@@ -436,6 +474,29 @@ mod tests {
         let faulty = run_load_test_faulty(&mut e2, &mem, &mut s2, &config, &mut faults).unwrap();
         assert_eq!(plain, faulty);
         assert!(faults.steps_used > 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_and_fills_histograms() {
+        let config = LoadTestConfig { warmup_s: 0.0, duration_s: 60.0, concurrent_users: 4 };
+        let (mut e1, mem) = setup(llama2_13b(), a100_80(), 1);
+        let mut s1 = FixedSource::constant(RequestSpec::new(500, 200));
+        let plain = run_load_test(&mut e1, &mem, &mut s1, &config).unwrap();
+        let (mut e2, _) = setup(llama2_13b(), a100_80(), 1);
+        let mut s2 = FixedSource::constant(RequestSpec::new(500, 200));
+        let hists = SampleHists::default();
+        let mut faults = crate::fault::LoadFaults::none();
+        let observed =
+            run_load_test_observed(&mut e2, &mem, &mut s2, &config, &mut faults, Some(&hists))
+                .unwrap();
+        assert_eq!(plain, observed, "observation must not change the metrics");
+        assert!(hists.nttft.count() > 0);
+        assert!(hists.itl.count() > 0);
+        // The histogram median agrees with the sorted-vector median to
+        // within the ≤1% quantile resolution.
+        let h_median = hists.itl.quantile(0.5) as f64 / 1e9;
+        let err = (h_median - observed.itl_median_s).abs() / observed.itl_median_s;
+        assert!(err < 0.02, "hist median {h_median} vs exact {}", observed.itl_median_s);
     }
 
     #[test]

@@ -7,10 +7,13 @@
 //! llm-pilot feasibility
 //! llm-pilot characterize --out data.csv [--duration 120] [--llm NAME]
 //!                       [--trace-out trace.json] [--trace-summary]
+//!                       [--events-out events.jsonl|-] [--flight-dir DIR]
 //! llm-pilot recommend   --data data.csv --llm NAME [--users 200]
-//!                       [--nttft-ms 100] [--itl-ms 50]
+//!                       [--nttft-ms 100] [--itl-ms 50] [--events-out FILE]
 //! llm-pilot serve       --data data.csv [--addr 127.0.0.1:8008] [--workers 4]
 //!                       [--queue 128] [--cache 4096] [--watch-secs 2]
+//!                       [--events-out FILE]
+//! llm-pilot watch       events.jsonl [--follow] [--interval-ms 200]
 //! ```
 //!
 //! Every subcommand declares typed flags via [`llm_pilot::cli`] (generated
@@ -26,9 +29,10 @@ use rand::SeedableRng;
 use llm_pilot::cli::{Command, Flag, Parsed};
 use llm_pilot::core::recommend::{recommend, LatencyConstraints, RecommendationRequest};
 use llm_pilot::core::{
-    CharacterizationDataset, CharacterizeConfig, PerformancePredictor, PredictorConfig,
-    SweepDriver, SweepOptions,
+    CharacterizationDataset, CharacterizeConfig, FlightOptions, PerformancePredictor,
+    PredictorConfig, SweepDriver, SweepOptions,
 };
+use llm_pilot::obs::events::{EventSink, WatchState};
 use llm_pilot::obs::Recorder;
 use llm_pilot::sim::fault::{FaultConfig, FaultPlan};
 use llm_pilot::sim::gpu::paper_profiles;
@@ -45,7 +49,8 @@ commands:
   feasibility   print the LLM x GPU memory-feasibility matrix
   characterize  run the characterization sweep
   recommend     recommend the cheapest deployment for one LLM
-  serve         run the online recommendation daemon";
+  serve         run the online recommendation daemon
+  watch         render live progress from a sweep telemetry stream";
 
 fn root_usage(code: i32) -> ! {
     eprintln!("usage: llm-pilot <command> [flags]\n{COMMANDS}");
@@ -98,6 +103,23 @@ impl TraceOpts {
             print!("{}", llm_pilot::obs::summary::summarize(&trace));
         }
         Ok(())
+    }
+}
+
+/// Declare the shared `--events-out` flag.
+fn events_flag(cmd: &mut Command) -> Flag<Option<String>> {
+    cmd.optional::<String>(
+        "events-out",
+        "FILE",
+        "append versioned JSONL telemetry events here (use - for stdout)",
+    )
+}
+
+/// Open the telemetry sink behind `--events-out` (disabled when absent).
+fn events_sink(parsed: &Parsed, flag: Flag<Option<String>>) -> Result<EventSink, Error> {
+    match parsed.get(&flag) {
+        Some(path) => Ok(EventSink::create(&path)?),
+        None => Ok(EventSink::disabled()),
     }
 }
 
@@ -247,10 +269,24 @@ fn cmd_characterize(args: &[String]) -> Result<(), Error> {
     );
     let fault_seed = cmd.flag("fault-seed", "S", "fault-injection seed", 1u64);
     let max_steps = cmd.optional::<u64>("max-steps", "N", "step budget per cell");
+    let events_out = events_flag(&mut cmd);
+    let flight_dir = cmd.optional::<PathBuf>(
+        "flight-dir",
+        "DIR",
+        "dump a flight-recorder trace here for every cell that fails",
+    );
     let (trace_out, trace_summary) = trace_flags(&mut cmd);
     let p = cmd.parse_or_exit(args);
 
     let topts = trace_opts(&p, trace_out, trace_summary);
+    let events = events_sink(&p, events_out)?;
+    let flight = match p.get(&flight_dir) {
+        Some(dir) => {
+            std::fs::create_dir_all(&dir)?;
+            Some(FlightOptions::new(dir))
+        }
+        None => None,
+    };
     let sampler = build_sampler(p.get(&seed));
     let llms = match p.get(&llm) {
         Some(name) => {
@@ -273,6 +309,8 @@ fn cmd_characterize(args: &[String]) -> Result<(), Error> {
         journal_path: p.get(&journal),
         max_steps_per_cell: p.get(&max_steps),
         recorder: topts.recorder.clone(),
+        events,
+        flight,
         ..SweepOptions::default()
     };
     let profiles = paper_profiles();
@@ -295,10 +333,12 @@ fn cmd_recommend(args: &[String]) -> Result<(), Error> {
     let users = cmd.flag("users", "N", "total concurrent users", 200u32);
     let nttft_ms = cmd.flag("nttft-ms", "MS", "normalized time-to-first-token SLA", 100.0f64);
     let itl_ms = cmd.flag("itl-ms", "MS", "inter-token latency SLA", 50.0f64);
+    let events_out = events_flag(&mut cmd);
     let (trace_out, trace_summary) = trace_flags(&mut cmd);
     let p = cmd.parse_or_exit(args);
 
     let topts = trace_opts(&p, trace_out, trace_summary);
+    let events = events_sink(&p, events_out)?;
     let llm_name = p.get(&llm);
     let llm = llm_by_name(&llm_name).ok_or_else(|| format!("unknown LLM {llm_name:?}"))?;
     let text = std::fs::read_to_string(p.get(&data))?;
@@ -327,6 +367,14 @@ fn cmd_recommend(args: &[String]) -> Result<(), Error> {
 
     // The LLM-Pilot method without inner HP tuning: train on every other
     // LLM's rows, predict over the user grid, solve Eq. (1)–(3).
+    events.emit(
+        "recommend.started",
+        &[
+            ("llm", llm.name.into()),
+            ("users", request.total_users.into()),
+            ("train_rows", train_rows.len().into()),
+        ],
+    );
     let _run_span = topts.recorder.span("recommend.run").arg("llm", llm.name);
     let predictor = PerformancePredictor::train_traced(
         &train_rows,
@@ -339,6 +387,16 @@ fn cmd_recommend(args: &[String]) -> Result<(), Error> {
     println!(
         "{}: {} pods of {} (predicted {} users/pod), ${:.2}/h",
         llm.name, rec.pods, rec.profile, rec.u_max, rec.cost_per_hour
+    );
+    events.emit(
+        "recommend.finished",
+        &[
+            ("llm", llm.name.into()),
+            ("profile", rec.profile.as_str().into()),
+            ("pods", rec.pods.into()),
+            ("u_max", rec.u_max.into()),
+            ("cost_per_hour", rec.cost_per_hour.into()),
+        ],
     );
     drop(_run_span);
     topts.finish()
@@ -367,12 +425,14 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
         |v| v.is_finite() && *v >= 0.0,
         "a non-negative number of seconds",
     );
+    let events_out = events_flag(&mut cmd);
     let (trace_out, trace_summary) = trace_flags(&mut cmd);
     let p = cmd.parse_or_exit(args);
 
     let topts = trace_opts(&p, trace_out, trace_summary);
     let data = p.get(&data);
     let mut config = llm_pilot::serve::ServeConfig::new(&data);
+    config.events = events_sink(&p, events_out)?;
     config.addr = p.get(&addr);
     config.workers = p.get(&workers);
     config.queue_capacity = p.get(&queue);
@@ -394,6 +454,69 @@ fn cmd_serve(args: &[String]) -> Result<(), Error> {
     }
 }
 
+fn cmd_watch(args: &[String]) -> Result<(), Error> {
+    let mut cmd =
+        Command::new("llm-pilot watch", "render live progress from a sweep telemetry stream");
+    cmd.positionals(1, "EVENTS_FILE");
+    let follow = cmd.switch("follow", "keep polling the file until the sweep finishes");
+    let interval_ms = cmd.flag_checked(
+        "interval-ms",
+        "MS",
+        "poll interval while following",
+        200u64,
+        |v| *v >= 1,
+        "at least 1 millisecond",
+    );
+    let p = cmd.parse_or_exit(args);
+    let Some(path) = p.positionals().first().cloned() else {
+        eprintln!("error: missing events file");
+        eprintln!("usage: llm-pilot watch EVENTS_FILE [--follow] [--interval-ms MS]");
+        exit(2)
+    };
+    let follow = p.get(&follow);
+    let interval = std::time::Duration::from_millis(p.get(&interval_ms));
+
+    let mut state = WatchState::new();
+    if !follow {
+        state.ingest_document(&std::fs::read_to_string(&path)?);
+        print!("{}", state.render());
+        return Ok(());
+    }
+
+    // Follow mode: poll for appended bytes, feed only complete lines (the
+    // writer may be mid-line), re-render on change, stop at sweep.finished.
+    // The file may not exist yet when the watcher starts before the sweep.
+    let mut offset = 0usize;
+    let mut pending = String::new();
+    loop {
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                std::thread::sleep(interval);
+                continue;
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let mut changed = false;
+        if bytes.len() > offset {
+            pending.push_str(&String::from_utf8_lossy(&bytes[offset..]));
+            offset = bytes.len();
+            while let Some(nl) = pending.find('\n') {
+                let line: String = pending.drain(..=nl).collect();
+                state.ingest(&line);
+                changed = true;
+            }
+        }
+        if changed {
+            print!("{}", state.render());
+        }
+        if state.finished() {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some(command) = args.first().cloned() else { root_usage(2) };
@@ -405,6 +528,7 @@ fn main() {
         "characterize" => cmd_characterize(rest),
         "recommend" => cmd_recommend(rest),
         "serve" => cmd_serve(rest),
+        "watch" => cmd_watch(rest),
         "--help" | "-h" | "help" => {
             println!("usage: llm-pilot <command> [flags]\n{COMMANDS}");
             println!("\nrun `llm-pilot <command> --help` for per-command flags");

@@ -1,0 +1,135 @@
+//! Property-based guarantees of the JSONL telemetry stream
+//! (`obs::events` + `obs::check::check_events`):
+//!
+//! 1. any sequence of typed emitter calls produces a document the checker
+//!    accepts, with per-type counts that round-trip exactly, and that the
+//!    `watch` consumer ingests without ever counting a bad line;
+//! 2. the checker never panics — not on garbage bytes, not on a document
+//!    whose tail was torn mid-line by a crashed writer (that case is
+//!    reported as `truncated_tail`, not an error).
+
+use proptest::prelude::*;
+
+use llm_pilot::obs::check::check_events;
+use llm_pilot::obs::events::{EventSink, WatchState};
+
+/// One scripted emitter call, decoded from a generated tuple:
+/// `(kind, llm index, attempt, progress)`.
+type Call = (u8, u8, u64, u64);
+
+const KINDS: u8 = 6;
+const LLMS: [&str; 3] = ["Llama-2-7b", "google/flan-t5-xl", "µ \"quoted\"\nllm"];
+
+/// The event name a call emits, for counting.
+fn kind_name(kind: u8) -> &'static str {
+    match kind % KINDS {
+        0 => "sweep.started",
+        1 => "cell.started",
+        2 => "cell.attempt",
+        3 => "cell.retried",
+        4 => "cell.finished",
+        _ => "sweep.finished",
+    }
+}
+
+/// Replay `calls` on a buffered sink; returns the emitted document.
+fn emit(calls: &[Call]) -> String {
+    let (sink, buf) = EventSink::to_buffer();
+    for &(kind, llm, attempt, n) in calls {
+        let llm = LLMS[(llm as usize) % LLMS.len()];
+        match kind % KINDS {
+            0 => sink.sweep_started(n, 0, 3),
+            1 => sink.cell_started(llm, "1xA100-40GB", 8),
+            2 => sink.cell_attempt(llm, "1xA100-40GB", attempt, 3),
+            3 => sink.cell_retried(
+                llm,
+                "1xA100-40GB",
+                attempt,
+                3,
+                0.5,
+                "deploy failed: transient\ninjected \"fault\"",
+            ),
+            4 => sink.cell_finished(llm, "1xA100-40GB", "measured", 1, n, 20, 1.5, None, None),
+            _ => sink.sweep_finished(n, n, n, 0, 0, 2.0),
+        }
+    }
+    let bytes = buf.lock().unwrap().clone();
+    String::from_utf8(bytes).expect("sink emits UTF-8")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Emit → check round-trip: the stats mirror exactly what was emitted.
+    #[test]
+    fn emitted_documents_round_trip_through_the_checker(
+        calls in prop::collection::vec((0u8..KINDS, 0u8..3, 1u64..4, 0u64..20), 0..40),
+    ) {
+        let doc = emit(&calls);
+        let stats = check_events(&doc).expect("typed emitters produce valid documents");
+        prop_assert_eq!(stats.events as usize, calls.len());
+        prop_assert!(!stats.truncated_tail);
+        for kind in 0..KINDS {
+            let name = kind_name(kind);
+            let want = calls.iter().filter(|c| c.0 == kind).count();
+            prop_assert_eq!(stats.types.get(name).copied().unwrap_or(0) as usize, want);
+        }
+        let any_finished = calls.iter().any(|c| c.0 % KINDS == 5);
+        prop_assert_eq!(stats.finished, any_finished);
+
+        // The live consumer agrees and flags nothing as unparseable.
+        let mut watch = WatchState::new();
+        watch.ingest_document(&doc);
+        prop_assert_eq!(watch.events(), calls.len());
+        prop_assert_eq!(watch.finished(), stats.finished);
+        watch.render(); // must not panic on any state
+    }
+
+    /// Tearing the final line anywhere (a crashed writer) downgrades to
+    /// `truncated_tail`; every complete line before it still counts.
+    #[test]
+    fn torn_tails_are_reported_not_fatal(
+        calls in prop::collection::vec((0u8..KINDS, 0u8..3, 1u64..4, 0u64..20), 1..20),
+        cut in 1usize..200,
+    ) {
+        let doc = emit(&calls);
+        let last = doc.lines().last().unwrap();
+        let cut = cut.min(last.len() - 1);
+        let boundary = doc.len() - 1 - last.len() + cut;
+        if !doc.is_char_boundary(boundary) {
+            return Ok(());
+        }
+        let torn = &doc[..boundary];
+        let stats = check_events(torn).expect("a torn tail is never a hard error");
+        prop_assert!(stats.truncated_tail || stats.events as usize == calls.len());
+        prop_assert_eq!(stats.events as usize, calls.len() - 1);
+    }
+
+    /// Arbitrary bytes: the checker and the watch consumer return, never
+    /// panic.
+    #[test]
+    fn garbage_never_panics(bytes in prop::collection::vec(0u8..=255, 0..400)) {
+        let doc = String::from_utf8_lossy(&bytes);
+        let _ = check_events(&doc);
+        let mut watch = WatchState::new();
+        watch.ingest_document(&doc);
+        watch.render();
+    }
+
+    /// Printable JSONL-shaped garbage (many short lines): never panics,
+    /// and a bad interior line is reported with its 1-based line number.
+    #[test]
+    fn line_garbage_is_reported_with_line_numbers(
+        lines in prop::collection::vec(prop::collection::vec(32u8..127, 0..40), 2..20),
+    ) {
+        let lines: Vec<String> =
+            lines.into_iter().map(|l| String::from_utf8(l).unwrap()).collect();
+        let doc = lines.join("\n");
+        if let Err(e) = check_events(&doc) {
+            prop_assert!(e.starts_with("line "), "error must name a line: {}", e);
+        }
+        let mut watch = WatchState::new();
+        watch.ingest_document(&doc);
+        watch.render();
+    }
+}

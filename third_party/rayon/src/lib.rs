@@ -72,6 +72,13 @@ pub mod prelude {
     };
 }
 
+/// Sequential stand-in for `rayon::current_num_threads`: this shim runs
+/// everything on the calling thread, so the honest answer is 1.
+#[inline]
+pub fn current_num_threads() -> usize {
+    1
+}
+
 /// Sequential stand-in for `rayon::join`: runs both closures in order.
 #[inline]
 pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
